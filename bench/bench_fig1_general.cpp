@@ -1,0 +1,13 @@
+// Figure 1 reproduction: cumulative relative-error distributions of the 10
+// largest eigenpairs of the *general matrices* (SuiteSparse substitute),
+// per bit width and format, with ∞ω/∞σ tails.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace mfla;
+  GeneralCorpusOptions opts;
+  opts.count = benchtool::scaled(64);
+  const auto dataset = build_general_corpus(opts);
+  benchtool::run_figure("fig1_general", "general matrices (SuiteSparse substitute)", dataset);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 2 reproduction: biological graph Laplacians (duplication-
+// divergence protein networks et al.), cumulative error distributions.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace mfla;
+  GraphCorpusOptions opts;
+  opts.counts.biological = benchtool::scaled(40);
+  const auto dataset = build_graph_corpus(opts, "biological");
+  benchtool::run_figure("fig2_biological", "biological graph Laplacians", dataset);
+  return 0;
+}

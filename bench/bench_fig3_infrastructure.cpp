@@ -1,0 +1,12 @@
+// Figure 3 reproduction: infrastructure graph Laplacians (roads, power
+// grids, geometric networks), cumulative error distributions.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace mfla;
+  GraphCorpusOptions opts;
+  opts.counts.infrastructure = benchtool::scaled(29);  // paper class size 1:1
+  const auto dataset = build_graph_corpus(opts, "infrastructure");
+  benchtool::run_figure("fig3_infrastructure", "infrastructure graph Laplacians", dataset);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 4 reproduction: social graph Laplacians (communities, hubs,
+// collaboration structure), cumulative error distributions.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace mfla;
+  GraphCorpusOptions opts;
+  opts.counts.social = benchtool::scaled(30);
+  const auto dataset = build_graph_corpus(opts, "social");
+  benchtool::run_figure("fig4_social", "social graph Laplacians", dataset);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 5 reproduction: miscellaneous graph Laplacians — the hardest
+// class: exact eigenvalue multiplicities (complete graphs, repeated
+// components), huge-degree hubs and wide-dynamic-range weights that drive
+// the ∞σ tails the paper reports even at 16/32 bits.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace mfla;
+  GraphCorpusOptions opts;
+  opts.counts.miscellaneous = benchtool::scaled(45);
+  const auto dataset = build_graph_corpus(opts, "miscellaneous");
+  benchtool::run_figure("fig5_miscellaneous", "miscellaneous graph Laplacians", dataset);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Microbenchmark A2: throughput of the IRAM's inner kernels (dot, norm,
+// axpy, sparse matvec, full Arnoldi step) per format and problem size.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/arnoldi.hpp"
+#include "dense/blas.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mfla;
+
+template <typename T>
+std::vector<T> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(NumTraits<T>::from_double(rng.normal()));
+  return v;
+}
+
+template <typename T>
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec<T>(n, 1);
+  const auto y = random_vec<T>(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dot(n, x.data(), y.data()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+template <typename T>
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec<T>(n, 3);
+  auto y = random_vec<T>(n, 4);
+  const T alpha = NumTraits<T>::from_double(0.37);
+  for (auto _ : state) {
+    axpy(n, alpha, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+template <typename T>
+CsrMatrix<T> bench_matrix(std::size_t n) {
+  Rng rng("bench_matrix", n);
+  const CooMatrix lap = graph_laplacian_pipeline(erdos_renyi(static_cast<std::uint32_t>(n),
+                                                             8.0 / static_cast<double>(n), rng));
+  return CsrMatrix<double>::from_coo(lap).convert<T>();
+}
+
+template <typename T>
+void BM_SpMV(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = bench_matrix<T>(n);
+  const auto x = random_vec<T>(a.rows(), 5);
+  std::vector<T> y(a.rows());
+  for (auto _ : state) {
+    a.matvec(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+
+template <typename T>
+void BM_ArnoldiStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = bench_matrix<T>(n);
+  const std::size_t m = 20;
+  DenseMatrix<T> v(a.rows(), m + 1), s(m + 1, m);
+  Rng rng(7);
+  const auto v0 = rng.unit_vector(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) v(i, 0) = NumTraits<T>::from_double(v0[i]);
+  // Pre-fill the first m-1 steps; benchmark the last (most expensive) one.
+  Rng step_rng(8);
+  for (std::size_t j = 0; j + 1 < m; ++j) arnoldi_step(a, v, s, j, step_rng);
+  for (auto _ : state) {
+    arnoldi_step(a, v, s, m - 1, step_rng);
+    benchmark::DoNotOptimize(s(m - 1, m - 1));
+  }
+}
+
+#define MFLA_KERNEL_BENCH(T)                                    \
+  BENCHMARK_TEMPLATE(BM_Dot, T)->Arg(256)->Arg(4096);           \
+  BENCHMARK_TEMPLATE(BM_Axpy, T)->Arg(256)->Arg(4096);          \
+  BENCHMARK_TEMPLATE(BM_SpMV, T)->Arg(512);                     \
+  BENCHMARK_TEMPLATE(BM_ArnoldiStep, T)->Arg(512)
+
+MFLA_KERNEL_BENCH(float);
+MFLA_KERNEL_BENCH(double);
+MFLA_KERNEL_BENCH(Float16);
+MFLA_KERNEL_BENCH(BFloat16);
+MFLA_KERNEL_BENCH(Posit16);
+MFLA_KERNEL_BENCH(Takum16);
+MFLA_KERNEL_BENCH(Posit32);
+MFLA_KERNEL_BENCH(Takum32);
+MFLA_KERNEL_BENCH(Quad);
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Shared driver for the figure-reproduction harnesses (Figures 1-5).
+//
+// For a given dataset it runs the full multi-format experiment and emits,
+// per bit width (8/16/32/64) and metric (eigenvalue/eigenvector), exactly
+// the series the paper plots: the cumulative distribution of log10 relative
+// errors with the ∞ω/∞σ tails — as CSV under out/, an ASCII panel, and a
+// summary table used by EXPERIMENTS.md.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mfla.hpp"
+
+namespace mfla::benchtool {
+
+/// Global scale factor for dataset sizes: MFLA_BENCH_SCALE (default 1.0).
+inline double bench_scale() {
+  const char* env = std::getenv("MFLA_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(n) * bench_scale() + 0.5);
+  return s < 3 ? 3 : s;
+}
+
+/// The paper's format lineup (everything except the float128 reference).
+inline std::vector<FormatId> evaluation_formats() {
+  std::vector<FormatId> out;
+  for (const auto& f : all_formats()) {
+    if (f.id != FormatId::float128) out.push_back(f.id);
+  }
+  return out;
+}
+
+inline void run_figure(const std::string& figure_id, const std::string& title,
+                       const std::vector<TestMatrix>& dataset) {
+  std::printf("=== %s: %s ===\n", figure_id.c_str(), title.c_str());
+  std::printf("dataset: %zu matrices", dataset.size());
+  {
+    std::size_t nmin = SIZE_MAX, nmax = 0, nnz = 0;
+    for (const auto& t : dataset) {
+      nmin = std::min(nmin, t.n());
+      nmax = std::max(nmax, t.n());
+      nnz += t.nnz();
+    }
+    if (!dataset.empty()) {
+      std::printf(" (n in [%zu, %zu], total nnz %zu)", nmin, nmax, nnz);
+    }
+  }
+  std::printf("\n\n");
+
+  ExperimentConfig cfg;
+  cfg.nev = 10;
+  cfg.buffer = 2;
+  cfg.max_restarts = 60;
+  cfg.reference_max_restarts = 150;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = run_experiment(dataset, evaluation_formats(), cfg);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::size_t ref_fail = 0;
+  for (const auto& r : results) ref_fail += !r.reference_ok;
+  std::printf("experiment wall time: %.1f s; reference failures: %zu/%zu\n\n", secs, ref_fail,
+              results.size());
+
+  // Raw per-run data (re-bin offline with read_results_csv).
+  write_results_csv("out/" + figure_id + "_raw.csv", results);
+
+  for (const int bits : {8, 16, 32, 64}) {
+    const PanelDistributions panel = build_panel(results, bits);
+    char sub[160];
+    std::snprintf(sub, sizeof sub, "%s (%c) %d bits — eigenvalue relative errors",
+                  figure_id.c_str(), static_cast<char>('a' + (bits == 8 ? 0 : bits == 16 ? 1 : bits == 32 ? 2 : 3)),
+                  bits);
+    std::printf("%s", ascii_panel(panel.eigenvalues, sub).c_str());
+    std::printf("%s\n", summary_table(panel.eigenvalues, "eigenvalues").c_str());
+    std::snprintf(sub, sizeof sub, "%s %d bits — eigenvector relative errors", figure_id.c_str(),
+                  bits);
+    std::printf("%s", ascii_panel(panel.eigenvectors, sub).c_str());
+    std::printf("%s\n", summary_table(panel.eigenvectors, "eigenvectors").c_str());
+
+    char path[256];
+    std::snprintf(path, sizeof path, "out/%s_%dbit_eigenvalues.csv", figure_id.c_str(), bits);
+    write_distribution_csv(path, panel.eigenvalues);
+    std::snprintf(path, sizeof path, "out/%s_%dbit_eigenvectors.csv", figure_id.c_str(), bits);
+    write_distribution_csv(path, panel.eigenvectors);
+  }
+  std::printf("CSV series written to out/%s_*.csv\n\n", figure_id.c_str());
+}
+
+}  // namespace mfla::benchtool

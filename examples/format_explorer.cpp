@@ -1,0 +1,109 @@
+// format_explorer: inspect the number formats of the study — dynamic
+// ranges, precision profiles (fraction bits vs magnitude), and individual
+// encodings.
+//
+// Usage:
+//   format_explorer              # print the format comparison tables
+//   format_explorer 3.14159      # show how each format rounds a value
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mfla.hpp"
+
+namespace {
+
+using namespace mfla;
+
+template <typename T>
+void format_row(double probe) {
+  const T v = NumTraits<T>::from_double(probe);
+  const double back = NumTraits<T>::to_double(v);
+  const double rel = probe != 0.0 ? std::abs(back - probe) / std::abs(probe) : 0.0;
+  std::printf("  %-11s %24.17g   rel.err %.3e\n", NumTraits<T>::name().c_str(), back, rel);
+}
+
+void explore_value(double x) {
+  std::printf("value %.17g in each format:\n", x);
+  format_row<OFP8E4M3>(x);
+  format_row<OFP8E5M2>(x);
+  format_row<Posit8>(x);
+  format_row<Takum8>(x);
+  format_row<Float16>(x);
+  format_row<BFloat16>(x);
+  format_row<Posit16>(x);
+  format_row<Takum16>(x);
+  format_row<float>(x);
+  format_row<Posit32>(x);
+  format_row<Takum32>(x);
+  format_row<double>(x);
+  format_row<Posit64>(x);
+  format_row<Takum64>(x);
+}
+
+/// Relative spacing (ulp/value) of format T at magnitude x, measured by
+/// nudging the encoding by one step.
+template <typename T>
+double spacing_at(double x) {
+  const T v = NumTraits<T>::from_double(x);
+  const T up = T::from_bits(static_cast<typename T::Storage>(v.bits() + 1));
+  if (up.is_nar()) return std::nan("");
+  return std::abs(NumTraits<T>::to_double(up) - NumTraits<T>::to_double(v)) / std::abs(x);
+}
+
+template <>
+double spacing_at<float>(double x) {
+  return static_cast<double>(std::nextafterf(static_cast<float>(x), 1e38f) -
+                             static_cast<float>(x)) / std::abs(x);
+}
+template <>
+double spacing_at<double>(double x) {
+  return (std::nextafter(x, 1e300) - x) / std::abs(x);
+}
+
+void precision_profile() {
+  std::printf("\nrelative spacing (-log2) by magnitude — the taper profile:\n");
+  std::printf("%10s  %8s %8s %8s %8s %8s\n", "magnitude", "float32", "posit32", "takum32",
+              "posit16", "takum16");
+  for (const int e : {-100, -60, -30, -10, -2, 0, 2, 10, 30, 60, 100}) {
+    const double x = std::ldexp(1.37, e);
+    auto bits = [](double s) { return std::isnan(s) ? 0.0 : -std::log2(s); };
+    std::printf("%9s%+04d %8.1f %8.1f %8.1f %8.1f %8.1f\n", "2^", e, bits(spacing_at<float>(x)),
+                bits(spacing_at<Posit32>(x)), bits(spacing_at<Takum32>(x)),
+                bits(spacing_at<Posit16>(x)), bits(spacing_at<Takum16>(x)));
+  }
+}
+
+void range_table() {
+  std::printf("\ndynamic ranges:\n%12s %14s %14s\n", "format", "min positive", "max finite");
+  auto row = [](const char* name, double lo, double hi) {
+    std::printf("%12s %14.4e %14.4e\n", name, lo, hi);
+  };
+  row("OFP8 E4M3", OFP8E4M3::min_positive_subnormal().to_double(),
+      OFP8E4M3::max_finite().to_double());
+  row("OFP8 E5M2", OFP8E5M2::min_positive_subnormal().to_double(),
+      OFP8E5M2::max_finite().to_double());
+  row("posit8", Posit8::min_positive().to_double(), Posit8::max_positive().to_double());
+  row("takum8", Takum8::min_positive().to_double(), Takum8::max_positive().to_double());
+  row("float16", Float16::min_positive_subnormal().to_double(), Float16::max_finite().to_double());
+  row("bfloat16", BFloat16::min_positive_subnormal().to_double(),
+      BFloat16::max_finite().to_double());
+  row("posit16", Posit16::min_positive().to_double(), Posit16::max_positive().to_double());
+  row("takum16", Takum16::min_positive().to_double(), Takum16::max_positive().to_double());
+  row("posit32", Posit32::min_positive().to_double(), Posit32::max_positive().to_double());
+  row("takum32", Takum32::min_positive().to_double(), Takum32::max_positive().to_double());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    explore_value(std::atof(argv[1]));
+    return 0;
+  }
+  explore_value(3.141592653589793);
+  range_table();
+  precision_profile();
+  std::printf("\ntip: pass a number to inspect it, e.g. ./format_explorer 6.02e23\n");
+  return 0;
+}

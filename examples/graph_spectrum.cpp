@@ -1,0 +1,53 @@
+// graph_spectrum: spectral analysis of a synthetic social network across
+// number formats — the paper's §3.4 scenario in miniature. Runs the full
+// evaluation pipeline (reference in float128, Hungarian matching, error
+// classification) on a single graph and prints a per-format scorecard.
+#include <cstdio>
+
+#include "mfla.hpp"
+
+int main() {
+  using namespace mfla;
+
+  // A 3-community social network.
+  Rng rng("graph-spectrum-example");
+  const CooMatrix adjacency = stochastic_block(240, 3, 0.2, 0.015, rng);
+  TestMatrix tm =
+      make_test_matrix("example_social", "social", "soc", graph_laplacian_pipeline(adjacency));
+  std::printf("social graph Laplacian: n = %zu, nnz = %zu\n", tm.n(), tm.nnz());
+
+  ExperimentConfig cfg;
+  cfg.nev = 10;     // paper: the 10 largest eigenvalues
+  cfg.buffer = 2;   // plus 2 buffer pairs for the matching
+  cfg.max_restarts = 80;
+
+  std::vector<FormatId> formats;
+  for (const auto& f : all_formats()) {
+    if (f.id != FormatId::float128) formats.push_back(f.id);
+  }
+  const MatrixResult res = run_matrix(tm, formats, cfg);
+  if (!res.reference_ok) {
+    std::printf("reference solve failed: %s\n", res.reference_failure.c_str());
+    return 1;
+  }
+
+  std::printf("\n%-12s %-10s %12s %12s %10s %9s\n", "format", "outcome", "eig rel.err",
+              "vec rel.err", "cos-sim", "restarts");
+  for (const auto& run : res.runs) {
+    const char* outcome = run.outcome == RunOutcome::ok               ? "ok"
+                          : run.outcome == RunOutcome::no_convergence ? "inf-omega"
+                                                                      : "inf-sigma";
+    if (run.outcome == RunOutcome::ok) {
+      std::printf("%-12s %-10s %12.3e %12.3e %10.5f %9d\n",
+                  format_info(run.format).name.c_str(), outcome, run.eigenvalue_error.relative,
+                  run.eigenvector_error.relative, run.mean_similarity, run.restarts);
+    } else {
+      std::printf("%-12s %-10s %12s %12s %10s %9d\n", format_info(run.format).name.c_str(),
+                  outcome, "-", "-", "-", run.restarts);
+    }
+  }
+
+  std::printf("\nThe Fiedler-like structure: the 3 smallest Laplacian eigenvalues separate\n"
+              "the communities; the 10 largest (computed here) sit in the bulk around 1.4.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: compute the 10 largest eigenpairs of a graph Laplacian in a
+// low-precision format and compare against float64.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "mfla.hpp"
+
+int main() {
+  using namespace mfla;
+
+  // 1. Build a graph and its symmetrically normalized Laplacian.
+  Rng rng("quickstart-graph");
+  const CooMatrix adjacency = stochastic_block(/*n=*/200, /*blocks=*/4,
+                                               /*p_in=*/0.25, /*p_out=*/0.02, rng);
+  const CooMatrix laplacian = graph_laplacian_pipeline(adjacency);
+  const auto a64 = CsrMatrix<double>::from_coo(laplacian);
+  std::printf("graph Laplacian: n = %zu, nnz = %zu\n\n", a64.rows(), a64.nnz());
+
+  // 2. Solve in float64 (baseline) and in bfloat16 (a 16-bit format).
+  PartialSchurOptions opts;
+  opts.nev = 10;
+  opts.which = Which::largest_magnitude;
+
+  opts.tolerance = NumTraits<double>::default_tolerance();  // 1e-12
+  const auto r64 = partialschur<double>(a64, opts);
+
+  const auto abf = a64.convert<BFloat16>();
+  opts.tolerance = NumTraits<BFloat16>::default_tolerance();  // 1e-4
+  const auto rbf = partialschur<BFloat16>(abf, opts);
+
+  const auto a16 = a64.convert<Takum16>();
+  const auto rt16 = partialschur<Takum16>(a16, opts);
+
+  // 3. Compare eigenvalues.
+  std::printf("%-4s %-16s %-16s %-16s\n", "#", "float64", "bfloat16", "takum16");
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::printf("%-4zu %-16.10f %-16.10f %-16.10f\n", i,
+                i < r64.eig_re.size() ? r64.eig_re[i] : 0.0,
+                i < rbf.eig_re.size() ? rbf.eig_re[i] : 0.0,
+                i < rt16.eig_re.size() ? rt16.eig_re[i] : 0.0);
+  }
+  std::printf("\nconverged: float64=%s (%d restarts), bfloat16=%s (%d), takum16=%s (%d)\n",
+              r64.converged ? "yes" : "no", r64.restarts, rbf.converged ? "yes" : "no",
+              rbf.restarts, rt16.converged ? "yes" : "no", rt16.restarts);
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "arith/format_registry.hpp"
+
+#include <stdexcept>
+
+namespace mfla {
+
+const std::vector<FormatInfo>& all_formats() {
+  static const std::vector<FormatInfo> table = {
+      {FormatId::ofp8_e4m3, "OFP8 E4M3", 8, "ofp8"},
+      {FormatId::ofp8_e5m2, "OFP8 E5M2", 8, "ofp8"},
+      {FormatId::takum8, "takum8", 8, "takum"},
+      {FormatId::posit8, "posit8", 8, "posit"},
+      {FormatId::float16, "float16", 16, "ieee"},
+      {FormatId::takum16, "takum16", 16, "takum"},
+      {FormatId::posit16, "posit16", 16, "posit"},
+      {FormatId::bfloat16, "bfloat16", 16, "ieee"},
+      {FormatId::float32, "float32", 32, "ieee"},
+      {FormatId::takum32, "takum32", 32, "takum"},
+      {FormatId::posit32, "posit32", 32, "posit"},
+      {FormatId::float64, "float64", 64, "ieee"},
+      {FormatId::takum64, "takum64", 64, "takum"},
+      {FormatId::posit64, "posit64", 64, "posit"},
+      {FormatId::float128, "float128", 128, "ieee"},
+  };
+  return table;
+}
+
+std::vector<FormatInfo> formats_for_width(int bits) {
+  std::vector<FormatInfo> out;
+  for (const auto& f : all_formats()) {
+    if (f.bits == bits) out.push_back(f);
+  }
+  return out;
+}
+
+const FormatInfo& format_info(FormatId id) {
+  for (const auto& f : all_formats()) {
+    if (f.id == id) return f;
+  }
+  throw std::invalid_argument("unknown format id");
+}
+
+}  // namespace mfla

@@ -1,0 +1,75 @@
+// Runtime registry of the number formats evaluated in the paper, plus a
+// compile-time dispatcher mapping a runtime FormatId onto the concrete
+// scalar type (so the experiment driver can loop over formats).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arith/traits.hpp"
+
+namespace mfla {
+
+enum class FormatId {
+  ofp8_e4m3,
+  ofp8_e5m2,
+  posit8,
+  takum8,
+  float16,
+  bfloat16,
+  posit16,
+  takum16,
+  float32,
+  posit32,
+  takum32,
+  float64,
+  posit64,
+  takum64,
+  float128,
+};
+
+struct FormatInfo {
+  FormatId id;
+  std::string name;    // e.g. "takum16"
+  int bits;            // storage width
+  std::string family;  // "ieee" | "ofp8" | "posit" | "takum"
+};
+
+/// All formats of the study, in the paper's presentation order.
+[[nodiscard]] const std::vector<FormatInfo>& all_formats();
+
+/// The formats evaluated at a given bit width (8, 16, 32 or 64), in the
+/// paper's legend order.
+[[nodiscard]] std::vector<FormatInfo> formats_for_width(int bits);
+
+[[nodiscard]] const FormatInfo& format_info(FormatId id);
+
+template <typename T>
+struct TypeTag {
+  using type = T;
+};
+
+/// Invoke fn(TypeTag<T>{}) with the scalar type behind a FormatId.
+template <class Fn>
+decltype(auto) dispatch_format(FormatId id, Fn&& fn) {
+  switch (id) {
+    case FormatId::ofp8_e4m3: return fn(TypeTag<OFP8E4M3>{});
+    case FormatId::ofp8_e5m2: return fn(TypeTag<OFP8E5M2>{});
+    case FormatId::posit8: return fn(TypeTag<Posit8>{});
+    case FormatId::takum8: return fn(TypeTag<Takum8>{});
+    case FormatId::float16: return fn(TypeTag<Float16>{});
+    case FormatId::bfloat16: return fn(TypeTag<BFloat16>{});
+    case FormatId::posit16: return fn(TypeTag<Posit16>{});
+    case FormatId::takum16: return fn(TypeTag<Takum16>{});
+    case FormatId::float32: return fn(TypeTag<float>{});
+    case FormatId::posit32: return fn(TypeTag<Posit32>{});
+    case FormatId::takum32: return fn(TypeTag<Takum32>{});
+    case FormatId::float64: return fn(TypeTag<double>{});
+    case FormatId::posit64: return fn(TypeTag<Posit64>{});
+    case FormatId::takum64: return fn(TypeTag<Takum64>{});
+    case FormatId::float128: return fn(TypeTag<Quad>{});
+  }
+  return fn(TypeTag<double>{});  // unreachable
+}
+
+}  // namespace mfla

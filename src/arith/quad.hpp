@@ -1,0 +1,32 @@
+// float128 reference arithmetic.
+//
+// The paper computes reference eigenpairs in float128 (113-bit significand)
+// with a 1e-20 convergence tolerance. GCC's __float128 provides exactly
+// this; sqrt comes from libquadmath.
+#pragma once
+
+#include <quadmath.h>
+
+#include <cmath>
+
+namespace mfla {
+
+using Quad = __float128;
+
+[[nodiscard]] inline Quad sqrt(Quad x) noexcept { return sqrtq(x); }
+[[nodiscard]] inline Quad abs(Quad x) noexcept { return fabsq(x); }
+[[nodiscard]] inline bool is_number(Quad x) noexcept { return !isnanq(x) && !isinfq(x); }
+
+// Native IEEE types get the same uniform surface so templated algorithms can
+// call mfla::sqrt / mfla::abs / mfla::is_number unqualified-by-type.
+[[nodiscard]] inline float sqrt(float x) noexcept { return std::sqrt(x); }
+[[nodiscard]] inline double sqrt(double x) noexcept { return std::sqrt(x); }
+[[nodiscard]] inline long double sqrt(long double x) noexcept { return std::sqrt(x); }
+[[nodiscard]] inline float abs(float x) noexcept { return std::fabs(x); }
+[[nodiscard]] inline double abs(double x) noexcept { return std::fabs(x); }
+[[nodiscard]] inline long double abs(long double x) noexcept { return std::fabs(x); }
+[[nodiscard]] inline bool is_number(float x) noexcept { return std::isfinite(x); }
+[[nodiscard]] inline bool is_number(double x) noexcept { return std::isfinite(x); }
+[[nodiscard]] inline bool is_number(long double x) noexcept { return std::isfinite(x); }
+
+}  // namespace mfla

@@ -1,0 +1,308 @@
+// Exact arithmetic engine for tapered-precision formats (posit, takum).
+//
+// Both posit and takum share the following structure:
+//   * monotone two's-complement encoding (negation = two's complement),
+//   * a single zero (encoding 0) and a single NaR (encoding 10...0),
+//   * a variable-length exponent prefix followed by fraction bits,
+//   * rounding defined on the *encoding*: append the infinitely precise
+//     tail to the n-bit pattern and round-to-nearest (ties-to-even) as an
+//     integer, saturating at +/-maxpos (never to NaR) and +/-minpos (never
+//     to zero).
+//
+// TaperedFloat<Codec> implements +,-,*,/ and sqrt with an exact 128-bit
+// integer significand engine: every operation decodes to
+// (sign, exponent, 64-bit significand), computes the exact result with
+// guard/sticky information, and re-encodes with a single correct rounding.
+// There is no intermediate float anywhere, so results are bit-exact
+// regardless of host rounding modes.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <type_traits>
+
+#include "support/floatbits.hpp"
+#include "support/int128.hpp"
+
+namespace mfla {
+
+/// A decoded finite non-zero value: magnitude = m * 2^(e - 63),
+/// with m in [2^63, 2^64) (the MSB is the implicit leading 1).
+struct Unpacked {
+  bool neg = false;
+  int e = 0;
+  std::uint64_t m = 0;
+};
+
+namespace detail {
+
+/// Assembles an "infinitely precise" encoding from the top down into a
+/// 128-bit accumulator; bits pushed past the bottom turn into sticky.
+class BitBuilder {
+ public:
+  void put(std::uint64_t bits, int width) noexcept {
+    if (width <= 0) return;
+    if (width < 64) bits &= (1ull << width) - 1;
+    pos_ -= width;
+    if (pos_ >= 0) {
+      acc_ |= static_cast<u128>(bits) << pos_;
+      return;
+    }
+    const int below = -pos_;
+    if (below >= width) {
+      sticky_ = sticky_ || bits != 0;
+      return;
+    }
+    acc_ |= static_cast<u128>(bits) >> below;
+    const std::uint64_t lost = bits & ((below >= 64) ? ~0ull : ((1ull << below) - 1));
+    sticky_ = sticky_ || lost != 0;
+  }
+
+  struct Extracted {
+    std::uint64_t payload;
+    bool guard;
+    bool rest;
+  };
+
+  /// Take the top `width` bits (width <= 63) as the payload; the next bit is
+  /// the guard, everything below (plus overflow sticky) is `rest`.
+  [[nodiscard]] Extracted extract(int width) const noexcept {
+    Extracted r{};
+    r.payload = static_cast<std::uint64_t>(acc_ >> (128 - width));
+    r.guard = (acc_ >> (128 - width - 1)) & 1;
+    r.rest = ((acc_ << (width + 1)) != 0) || sticky_;
+    return r;
+  }
+
+ private:
+  u128 acc_ = 0;
+  int pos_ = 128;
+  bool sticky_ = false;
+};
+
+/// Encoding-level round-to-nearest-even with posit/takum saturation:
+/// payload+1 on round-up; never produces 0 (minpos clamp) and never crosses
+/// into the NaR pattern (maxpos clamp).
+template <typename Storage>
+[[nodiscard]] Storage round_payload(int nbits, BitBuilder::Extracted x, bool extra_sticky) noexcept {
+  const bool rest = x.rest || extra_sticky;
+  std::uint64_t p = x.payload;
+  if (x.guard && (rest || (p & 1))) ++p;
+  const std::uint64_t top = 1ull << (nbits - 1);
+  if (p >= top) p = top - 1;  // saturate below NaR
+  if (p == 0) p = 1;          // never round a non-zero value to zero
+  return static_cast<Storage>(p);
+}
+
+[[nodiscard]] constexpr int bitlen(unsigned v) noexcept {
+  return v == 0 ? 0 : 32 - __builtin_clz(v);
+}
+
+}  // namespace detail
+
+/// Number wrapper over a tapered codec. The Codec supplies:
+///   nbits, Storage, name(),
+///   decode_positive(uint64)  -> Unpacked (for payloads in (0, 2^(n-1))),
+///   encode_positive(e, m, guard, sticky) -> payload in [1, 2^(n-1)-1],
+///   max_exponent() (for traits/reporting).
+template <class Codec>
+class TaperedFloat {
+ public:
+  using Storage = typename Codec::Storage;
+  static constexpr int kBits = Codec::nbits;
+  static constexpr Storage kNaRBits = static_cast<Storage>(std::uint64_t{1} << (kBits - 1));
+  static constexpr std::uint64_t kMask =
+      (kBits >= 64) ? ~0ull : ((std::uint64_t{1} << kBits) - 1);
+
+  constexpr TaperedFloat() noexcept : bits_(0) {}
+  TaperedFloat(double d) noexcept : bits_(from_double(d).bits_) {}
+  TaperedFloat(int i) noexcept : TaperedFloat(static_cast<double>(i)) {}
+
+  [[nodiscard]] static constexpr TaperedFloat from_bits(Storage b) noexcept {
+    TaperedFloat r;
+    r.bits_ = static_cast<Storage>(b & kMask);
+    return r;
+  }
+  [[nodiscard]] constexpr Storage bits() const noexcept { return bits_; }
+
+  [[nodiscard]] static constexpr TaperedFloat nar() noexcept { return from_bits(kNaRBits); }
+  [[nodiscard]] static constexpr TaperedFloat zero() noexcept { return from_bits(0); }
+  [[nodiscard]] static constexpr TaperedFloat max_positive() noexcept {
+    return from_bits(static_cast<Storage>(kNaRBits - 1));
+  }
+  [[nodiscard]] static constexpr TaperedFloat min_positive() noexcept { return from_bits(Storage{1}); }
+
+  [[nodiscard]] constexpr bool is_nar() const noexcept { return bits_ == kNaRBits; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const noexcept {
+    return !is_nar() && (bits_ >> (kBits - 1)) != 0;
+  }
+
+  // -- Conversions ---------------------------------------------------------
+  [[nodiscard]] static TaperedFloat from_double(double d) noexcept {
+    const DoubleParts p = decompose_double(d);
+    if (p.nan || p.inf) return nar();
+    if (p.zero) return zero();
+    // |d| = sig * 2^(p.e), sig in [2^52, 2^53); re-anchor at 64 bits.
+    const std::uint64_t m = p.sig << 11;
+    const int e = p.e + 52;
+    return make(p.neg, e, m, false, false);
+  }
+
+  [[nodiscard]] double to_double() const noexcept {
+    if (is_nar()) return __builtin_nan("");
+    if (is_zero()) return 0.0;
+    const Unpacked u = unpack();
+    return compose_double(u.neg, u.m, u.e - 63);
+  }
+
+  explicit operator double() const noexcept { return to_double(); }
+  explicit operator float() const noexcept { return static_cast<float>(to_double()); }
+
+  /// Decode to sign/exponent/significand (finite non-zero values only).
+  [[nodiscard]] Unpacked unpack() const noexcept {
+    std::uint64_t p = bits_;
+    bool neg = false;
+    if ((p >> (kBits - 1)) & 1) {
+      neg = true;
+      p = (~p + 1) & kMask;  // two's complement within kBits
+    }
+    Unpacked u = Codec::decode_positive(p);
+    u.neg = neg;
+    return u;
+  }
+
+  // -- Arithmetic ----------------------------------------------------------
+  friend TaperedFloat operator+(TaperedFloat a, TaperedFloat b) noexcept { return add(a, b, false); }
+  friend TaperedFloat operator-(TaperedFloat a, TaperedFloat b) noexcept { return add(a, b, true); }
+
+  friend TaperedFloat operator*(TaperedFloat a, TaperedFloat b) noexcept {
+    if (a.is_nar() || b.is_nar()) return nar();
+    if (a.is_zero() || b.is_zero()) return zero();
+    const Unpacked x = a.unpack(), y = b.unpack();
+    u128 prod = static_cast<u128>(x.m) * y.m;  // in [2^126, 2^128)
+    const int t = 127 - clz_u128(prod);
+    prod <<= (127 - t);
+    const auto m = static_cast<std::uint64_t>(prod >> 64);
+    const bool g = (static_cast<std::uint64_t>(prod) >> 63) & 1;
+    const bool s = (static_cast<std::uint64_t>(prod) & ((1ull << 63) - 1)) != 0;
+    return make(x.neg != y.neg, x.e + y.e - 126 + t, m, g, s);
+  }
+
+  friend TaperedFloat operator/(TaperedFloat a, TaperedFloat b) noexcept {
+    if (a.is_nar() || b.is_nar() || b.is_zero()) return nar();
+    if (a.is_zero()) return zero();
+    const Unpacked x = a.unpack(), y = b.unpack();
+    const u128 num = static_cast<u128>(x.m) << 64;
+    u128 q = num / y.m;  // in (2^63, 2^65)
+    const u128 rem = num % y.m;
+    const int t = 127 - clz_u128(q);
+    q <<= (127 - t);
+    const auto m = static_cast<std::uint64_t>(q >> 64);
+    const bool g = (static_cast<std::uint64_t>(q) >> 63) & 1;
+    const bool s = ((static_cast<std::uint64_t>(q) & ((1ull << 63) - 1)) != 0) || rem != 0;
+    return make(x.neg != y.neg, x.e - y.e - 64 + t, m, g, s);
+  }
+
+  friend TaperedFloat operator-(TaperedFloat a) noexcept {
+    return from_bits(static_cast<Storage>((~a.bits_ + 1) & kMask));
+  }
+  friend TaperedFloat operator+(TaperedFloat a) noexcept { return a; }
+
+  TaperedFloat& operator+=(TaperedFloat o) noexcept { return *this = *this + o; }
+  TaperedFloat& operator-=(TaperedFloat o) noexcept { return *this = *this - o; }
+  TaperedFloat& operator*=(TaperedFloat o) noexcept { return *this = *this * o; }
+  TaperedFloat& operator/=(TaperedFloat o) noexcept { return *this = *this / o; }
+
+  [[nodiscard]] friend TaperedFloat sqrt(TaperedFloat a) noexcept {
+    if (a.is_nar() || a.is_zero()) return a;
+    if (a.is_negative()) return nar();
+    Unpacked x = a.unpack();
+    u128 mm = x.m;
+    int e = x.e;
+    if (e & 1) {  // works for negative odd e too: (e & 1) == 1
+      mm <<= 1;
+      e -= 1;
+    }
+    const u128 n = mm << 63;
+    const std::uint64_t s = isqrt_u128(n);
+    const u128 rem = n - static_cast<u128>(s) * s;
+    return make(false, e / 2, s, false, rem != 0);
+  }
+
+  [[nodiscard]] friend TaperedFloat abs(TaperedFloat a) noexcept {
+    return a.is_negative() ? -a : a;
+  }
+
+  // -- Comparisons: total order via the signed encoding (NaR is smallest) --
+  friend constexpr bool operator==(TaperedFloat a, TaperedFloat b) noexcept { return a.bits_ == b.bits_; }
+  friend constexpr bool operator!=(TaperedFloat a, TaperedFloat b) noexcept { return a.bits_ != b.bits_; }
+  friend constexpr bool operator<(TaperedFloat a, TaperedFloat b) noexcept {
+    return signed_bits(a.bits_) < signed_bits(b.bits_);
+  }
+  friend constexpr bool operator>(TaperedFloat a, TaperedFloat b) noexcept { return b < a; }
+  friend constexpr bool operator<=(TaperedFloat a, TaperedFloat b) noexcept { return !(b < a); }
+  friend constexpr bool operator>=(TaperedFloat a, TaperedFloat b) noexcept { return !(a < b); }
+
+  friend std::ostream& operator<<(std::ostream& os, TaperedFloat v) {
+    if (v.is_nar()) return os << "NaR";
+    return os << v.to_double();
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::int64_t signed_bits(Storage s) noexcept {
+    using SignedStorage = std::make_signed_t<Storage>;
+    return static_cast<std::int64_t>(static_cast<SignedStorage>(s));
+  }
+
+  /// Round and pack a finite non-zero result.
+  [[nodiscard]] static TaperedFloat make(bool neg, int e, std::uint64_t m, bool guard,
+                                         bool sticky) noexcept {
+    const Storage payload = Codec::encode_positive(e, m, guard, sticky);
+    if (!neg) return from_bits(payload);
+    return from_bits(static_cast<Storage>((~payload + 1) & kMask));
+  }
+
+  /// Shared addition/subtraction core (exact alignment with sticky).
+  [[nodiscard]] static TaperedFloat add(TaperedFloat a, TaperedFloat b, bool negate_b) noexcept {
+    if (a.is_nar() || b.is_nar()) return nar();
+    if (negate_b) b = -b;
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+    Unpacked x = a.unpack(), y = b.unpack();
+    if (x.e < y.e || (x.e == y.e && x.m < y.m)) {
+      const Unpacked t = x;
+      x = y;
+      y = t;
+    }
+    const bool effective_sub = x.neg != y.neg;
+    const u128 big = static_cast<u128>(x.m) << 63;  // headroom bit 127 free
+    bool sticky = false;
+    const u128 small = shift_right_sticky(static_cast<u128>(y.m) << 63, x.e - y.e, sticky);
+    u128 r;
+    if (!effective_sub) {
+      r = big + small;
+    } else {
+      r = big - small;
+      // With a sticky tail the true result is strictly below r: borrow one
+      // ulp so guard/sticky classification stays exact.
+      if (sticky) r -= 1;
+      if (r == 0) return zero();
+    }
+    const int t = 127 - clz_u128(r);
+    r <<= (127 - t);
+    const auto m = static_cast<std::uint64_t>(r >> 64);
+    const bool g = (static_cast<std::uint64_t>(r) >> 63) & 1;
+    const bool s = sticky || (static_cast<std::uint64_t>(r) & ((1ull << 63) - 1)) != 0;
+    return make(x.neg, x.e - 126 + t, m, g, s);
+  }
+
+  Storage bits_;
+};
+
+template <class Codec>
+[[nodiscard]] constexpr bool is_number(TaperedFloat<Codec> x) noexcept {
+  return !x.is_nar();
+}
+
+}  // namespace mfla

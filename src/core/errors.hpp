@@ -1,0 +1,62 @@
+// Error metrics and outcome classification (paper §2.2 end / §3).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace mfla {
+
+/// Run outcome categories used throughout the figures:
+///   ok            — converged, finite errors;
+///   no_convergence — the Arnoldi method did not converge (∞ω);
+///   range_exceeded — matrix entries fell outside the format's dynamic
+///                    range during conversion (∞σ).
+enum class RunOutcome { ok, no_convergence, range_exceeded };
+
+struct ErrorPair {
+  double absolute = std::numeric_limits<double>::infinity();
+  double relative = std::numeric_limits<double>::infinity();
+};
+
+/// L2 errors over the first nev entries of the matched eigenvalue vectors.
+[[nodiscard]] inline ErrorPair eigenvalue_errors(const std::vector<double>& ref,
+                                                 const std::vector<double>& cmp,
+                                                 std::size_t nev) {
+  ErrorPair e;
+  double diff2 = 0.0, ref2 = 0.0;
+  for (std::size_t i = 0; i < nev && i < ref.size() && i < cmp.size(); ++i) {
+    const double d = ref[i] - cmp[i];
+    diff2 += d * d;
+    ref2 += ref[i] * ref[i];
+  }
+  e.absolute = std::sqrt(diff2);
+  e.relative = ref2 > 0 ? e.absolute / std::sqrt(ref2) : e.absolute;
+  return e;
+}
+
+/// Frobenius errors over the first nev columns of the matched eigenvector
+/// matrices (the stacked-L2 norm of the paper).
+[[nodiscard]] inline ErrorPair eigenvector_errors(const DenseMatrix<double>& ref,
+                                                  const DenseMatrix<double>& cmp,
+                                                  std::size_t nev) {
+  ErrorPair e;
+  double diff2 = 0.0, ref2 = 0.0;
+  const std::size_t cols = std::min({nev, ref.cols(), cmp.cols()});
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i < ref.rows(); ++i) {
+      const double d = ref(i, j) - cmp(i, j);
+      diff2 += d * d;
+      ref2 += ref(i, j) * ref(i, j);
+    }
+  }
+  e.absolute = std::sqrt(diff2);
+  e.relative = ref2 > 0 ? e.absolute / std::sqrt(ref2) : e.absolute;
+  return e;
+}
+
+}  // namespace mfla

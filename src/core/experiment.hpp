@@ -1,0 +1,189 @@
+// The experiment driver (paper §2.2): for each test matrix,
+//   1. compute a reference partial Schur decomposition in float128
+//      (tolerance 1e-20) for nev + buffer pairs,
+//   2. for each format under evaluation: pre-check the dynamic range (∞σ),
+//      convert, run partialschur in that format (per-width tolerance),
+//      match eigenpairs (Hungarian on |cosine|, buffer = 2, sign fix),
+//      and compute relative L2 errors over the first nev pairs,
+//   3. classify the outcome (ok / ∞ω / ∞σ).
+//
+// Matrices are processed in parallel with OpenMP (each matrix is fully
+// independent; the RNG streams are derived from matrix names).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arith/format_registry.hpp"
+#include "core/errors.hpp"
+#include "core/krylov_schur.hpp"
+#include "core/matching.hpp"
+#include "datasets/test_matrix.hpp"
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace mfla {
+
+struct ExperimentConfig {
+  std::size_t nev = 10;    // eigenvalue_count (paper: 10 largest)
+  std::size_t buffer = 2;  // eigenvalue_buffer_count (paper: 2)
+  Which which = Which::largest_magnitude;
+  int max_restarts = 60;           // per-format restart budget
+  int reference_max_restarts = 150;
+  std::uint64_t seed = 0xa11ce;
+};
+
+struct FormatRun {
+  FormatId format = FormatId::float64;
+  RunOutcome outcome = RunOutcome::no_convergence;
+  ErrorPair eigenvalue_error;
+  ErrorPair eigenvector_error;
+  double mean_similarity = 0.0;
+  std::size_t nconverged = 0;
+  int restarts = 0;
+  std::size_t matvecs = 0;
+  std::string failure;
+};
+
+struct MatrixResult {
+  std::string name;
+  std::string klass;
+  std::string category;
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+  bool reference_ok = false;
+  std::string reference_failure;
+  std::vector<FormatRun> runs;
+};
+
+struct ReferenceSolution {
+  bool ok = false;
+  std::string failure;
+  std::vector<double> values;     // nev + buffer matched-order eigenvalues
+  DenseMatrix<double> vectors;    // n x (nev + buffer)
+};
+
+/// Reference solve in float128 with the paper's 1e-20 tolerance.
+inline ReferenceSolution compute_reference(const TestMatrix& tm, const ExperimentConfig& cfg,
+                                           const std::vector<double>& start) {
+  ReferenceSolution ref;
+  const CsrMatrix<Quad> aq = tm.matrix.convert<Quad>();
+  PartialSchurOptions opts;
+  opts.nev = cfg.nev + cfg.buffer;
+  opts.which = cfg.which;
+  opts.tolerance = 1e-20;
+  opts.max_restarts = cfg.reference_max_restarts;
+  opts.start_vector = &start;
+  const auto r = partialschur<Quad>(aq, opts);
+  if (!r.converged) {
+    ref.failure = r.failure.empty() ? "reference did not converge" : r.failure;
+    return ref;
+  }
+  const std::size_t k = cfg.nev + cfg.buffer;
+  ref.values.assign(r.eig_re.begin(), r.eig_re.begin() + static_cast<long>(k));
+  ref.vectors = DenseMatrix<double>(tm.n(), k);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < tm.n(); ++i)
+      ref.vectors(i, j) = NumTraits<Quad>::to_double(r.q(i, j));
+  ref.ok = true;
+  return ref;
+}
+
+/// One format evaluation against a prepared reference.
+template <typename T>
+FormatRun run_format(const TestMatrix& tm, const ReferenceSolution& ref,
+                     const ExperimentConfig& cfg, const std::vector<double>& start,
+                     FormatId id) {
+  FormatRun run;
+  run.format = id;
+
+  // ∞σ pre-check: does any entry leave the format's dynamic range?
+  if (matrix_exceeds_range<T>(tm.matrix)) {
+    run.outcome = RunOutcome::range_exceeded;
+    run.failure = "matrix entries exceed dynamic range";
+    return run;
+  }
+
+  const CsrMatrix<T> at = tm.matrix.convert<T>();
+  PartialSchurOptions opts;
+  opts.nev = cfg.nev + cfg.buffer;
+  opts.which = cfg.which;
+  opts.tolerance = NumTraits<T>::default_tolerance();
+  opts.max_restarts = cfg.max_restarts;
+  opts.start_vector = &start;
+  opts.seed = fnv1a(tm.name) ^ 0x517e;
+  const auto r = partialschur<T>(at, opts);
+  run.restarts = r.restarts;
+  run.matvecs = r.matvecs;
+  run.nconverged = r.nconverged;
+  if (!r.converged) {
+    run.outcome = RunOutcome::no_convergence;
+    run.failure = r.failure;
+    return run;
+  }
+
+  // Convert results to double for matching/metrics (postprocessing step;
+  // not part of the arithmetic under study).
+  const std::size_t k = cfg.nev + cfg.buffer;
+  const std::size_t kc = std::min(k, r.q.cols());
+  DenseMatrix<double> vectors(tm.n(), kc);
+  for (std::size_t j = 0; j < kc; ++j)
+    for (std::size_t i = 0; i < tm.n(); ++i)
+      vectors(i, j) = NumTraits<T>::to_double(r.q(i, j));
+  std::vector<double> values(r.eig_re.begin(), r.eig_re.begin() + static_cast<long>(kc));
+
+  const MatchResult match = match_eigenvectors(ref.vectors, vectors);
+  const DenseMatrix<double> matched_vectors = apply_match(vectors, match);
+  const std::vector<double> matched_values = apply_match(values, match);
+  run.mean_similarity = match.mean_similarity;
+
+  run.eigenvalue_error = eigenvalue_errors(ref.values, matched_values, cfg.nev);
+  run.eigenvector_error = eigenvector_errors(ref.vectors, matched_vectors, cfg.nev);
+  const bool finite = std::isfinite(run.eigenvalue_error.relative) &&
+                      std::isfinite(run.eigenvector_error.relative);
+  run.outcome = finite ? RunOutcome::ok : RunOutcome::no_convergence;
+  return run;
+}
+
+/// Evaluate one matrix across a format list.
+inline MatrixResult run_matrix(const TestMatrix& tm, const std::vector<FormatId>& formats,
+                               const ExperimentConfig& cfg) {
+  MatrixResult res;
+  res.name = tm.name;
+  res.klass = tm.klass;
+  res.category = tm.category;
+  res.n = tm.n();
+  res.nnz = tm.nnz();
+
+  Rng rng(tm.name, cfg.seed);
+  const std::vector<double> start = rng.unit_vector(tm.n());
+
+  const ReferenceSolution ref = compute_reference(tm, cfg, start);
+  res.reference_ok = ref.ok;
+  res.reference_failure = ref.failure;
+  if (!ref.ok) return res;
+
+  res.runs.reserve(formats.size());
+  for (const FormatId id : formats) {
+    res.runs.push_back(dispatch_format(id, [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      return run_format<T>(tm, ref, cfg, start, id);
+    }));
+  }
+  return res;
+}
+
+/// Evaluate a whole dataset (OpenMP-parallel across matrices).
+inline std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
+                                                const std::vector<FormatId>& formats,
+                                                const ExperimentConfig& cfg = {}) {
+  std::vector<MatrixResult> results(dataset.size());
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t i = 0; i < dataset.size(); ++i) {  // NOLINT(modernize-loop-convert)
+    results[i] = run_matrix(dataset[i], formats, cfg);
+  }
+  return results;
+}
+
+}  // namespace mfla

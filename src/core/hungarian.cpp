@@ -1,0 +1,75 @@
+#include "core/hungarian.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mfla {
+
+std::vector<int> hungarian_assignment(const DenseMatrix<double>& cost) {
+  const auto n = static_cast<int>(cost.rows());
+  const auto m = static_cast<int>(cost.cols());
+  if (n > m) throw std::invalid_argument("hungarian: need rows <= cols");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Potentials and matching, 1-based internally (classic formulation).
+  std::vector<double> u(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<std::size_t>(m) + 1, 0.0);
+  std::vector<int> match(static_cast<std::size_t>(m) + 1, 0);  // column -> row
+  std::vector<int> way(static_cast<std::size_t>(m) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<std::size_t>(m) + 1, kInf);
+    std::vector<char> used(static_cast<std::size_t>(m) + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = match[j0];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(static_cast<std::size_t>(i0 - 1), static_cast<std::size_t>(j - 1)) -
+                           u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(static_cast<std::size_t>(n), -1);
+  for (int j = 1; j <= m; ++j) {
+    if (match[j] > 0) assignment[static_cast<std::size_t>(match[j] - 1)] = j - 1;
+  }
+  return assignment;
+}
+
+double assignment_cost(const DenseMatrix<double>& cost, const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] >= 0) total += cost(i, static_cast<std::size_t>(assignment[i]));
+  }
+  return total;
+}
+
+}  // namespace mfla

@@ -1,0 +1,21 @@
+// Hungarian (Kuhn–Munkres) algorithm, O(n^3) shortest-augmenting-path
+// formulation. The paper uses it (via Hungarian.jl) to find the optimal
+// permutation matching computed eigenvectors to reference eigenvectors
+// under the negative absolute cosine similarity cost.
+#pragma once
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace mfla {
+
+/// Minimum-cost assignment of rows to columns of a square (or wide,
+/// rows <= cols) cost matrix. Returns, for each row, the assigned column.
+[[nodiscard]] std::vector<int> hungarian_assignment(const DenseMatrix<double>& cost);
+
+/// Total cost of an assignment.
+[[nodiscard]] double assignment_cost(const DenseMatrix<double>& cost,
+                                     const std::vector<int>& assignment);
+
+}  // namespace mfla

@@ -1,0 +1,128 @@
+// Eigenpair matching (paper §2.2, the authors' "novel method").
+//
+// Low-precision runs can permute tightly clustered eigenvalues and flip
+// eigenvector signs. To compare fairly, both the reference and the trial
+// runs compute nev + buffer pairs (buffer = 2 in the paper); the optimal
+// permutation is found with the Hungarian algorithm on the negative
+// absolute cosine similarity matrix (paper Eq. 2), signs are fixed via the
+// largest-|entry| index of each reference eigenvector, and only the first
+// nev (reference-ordered) pairs are scored.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/hungarian.hpp"
+#include "dense/matrix.hpp"
+
+namespace mfla {
+
+/// Absolute cosine similarity matrix C_ij = |<r_i, s_j>| / (||r_i|| ||s_j||)
+/// between reference columns r_i and computed columns s_j (paper Eq. 2).
+[[nodiscard]] inline DenseMatrix<double> cosine_similarity(const DenseMatrix<double>& ref,
+                                                           const DenseMatrix<double>& cmp) {
+  const std::size_t n = ref.rows();
+  const std::size_t p = ref.cols(), q = cmp.cols();
+  DenseMatrix<double> c(p, q);
+  std::vector<double> rnorm(p, 0.0), snorm(q, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    double acc = 0;
+    for (std::size_t r = 0; r < n; ++r) acc += ref(r, i) * ref(r, i);
+    rnorm[i] = std::sqrt(acc);
+  }
+  for (std::size_t j = 0; j < q; ++j) {
+    double acc = 0;
+    for (std::size_t r = 0; r < n; ++r) acc += cmp(r, j) * cmp(r, j);
+    snorm[j] = std::sqrt(acc);
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < q; ++j) {
+      double acc = 0;
+      for (std::size_t r = 0; r < n; ++r) acc += ref(r, i) * cmp(r, j);
+      const double denom = rnorm[i] * snorm[j];
+      c(i, j) = denom > 0 ? std::abs(acc) / denom : 0.0;
+    }
+  }
+  return c;
+}
+
+struct MatchResult {
+  /// permutation[i] = column of the computed matrix assigned to reference
+  /// column i (for all nev + buffer columns).
+  std::vector<int> permutation;
+  /// sign[i] in {+1, -1}: factor applied to the matched computed column.
+  std::vector<double> sign;
+  /// Mean absolute cosine similarity over the matched pairs.
+  double mean_similarity = 0.0;
+};
+
+/// Match computed eigenvector columns to reference columns.
+[[nodiscard]] inline MatchResult match_eigenvectors(const DenseMatrix<double>& ref,
+                                                    const DenseMatrix<double>& cmp) {
+  const DenseMatrix<double> sim = cosine_similarity(ref, cmp);
+  // Hungarian minimizes cost; the paper feeds it the negative similarity.
+  DenseMatrix<double> cost(sim.rows(), sim.cols());
+  for (std::size_t i = 0; i < sim.rows(); ++i)
+    for (std::size_t j = 0; j < sim.cols(); ++j) {
+      const double s = sim(i, j);
+      cost(i, j) = std::isfinite(s) ? -s : 0.0;
+    }
+  MatchResult out;
+  out.permutation = hungarian_assignment(cost);
+
+  const std::size_t n = ref.rows();
+  out.sign.assign(ref.cols(), 1.0);
+  double total_sim = 0.0;
+  for (std::size_t i = 0; i < ref.cols(); ++i) {
+    const int j = out.permutation[i];
+    if (j < 0) continue;
+    total_sim += sim(i, static_cast<std::size_t>(j));
+    // Sign reference: the largest-|entry| index of the reference vector
+    // (stable against tiny first entries, paper §2.2).
+    std::size_t imax = 0;
+    double best = -1.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double a = std::abs(ref(r, i));
+      if (a > best) {
+        best = a;
+        imax = r;
+      }
+    }
+    const double rs = ref(imax, i);
+    const double cs = cmp(imax, static_cast<std::size_t>(j));
+    out.sign[i] = (rs < 0) == (cs < 0) ? 1.0 : -1.0;
+  }
+  out.mean_similarity = ref.cols() > 0 ? total_sim / static_cast<double>(ref.cols()) : 0.0;
+  return out;
+}
+
+/// Apply a match: returns the computed columns permuted into reference
+/// order and sign-corrected (columns 0..ref_cols-1).
+[[nodiscard]] inline DenseMatrix<double> apply_match(const DenseMatrix<double>& cmp,
+                                                     const MatchResult& match) {
+  const std::size_t n = cmp.rows();
+  const std::size_t p = match.permutation.size();
+  DenseMatrix<double> out(n, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const int j = match.permutation[i];
+    if (j < 0) continue;
+    for (std::size_t r = 0; r < n; ++r) {
+      out(r, i) = match.sign[i] * cmp(r, static_cast<std::size_t>(j));
+    }
+  }
+  return out;
+}
+
+/// Apply the same permutation to an eigenvalue vector.
+[[nodiscard]] inline std::vector<double> apply_match(const std::vector<double>& values,
+                                                     const MatchResult& match) {
+  std::vector<double> out(match.permutation.size(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int j = match.permutation[i];
+    if (j >= 0 && static_cast<std::size_t>(j) < values.size()) out[i] = values[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+}  // namespace mfla

@@ -1,0 +1,140 @@
+#include "core/report.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mfla {
+
+void ensure_directory(const std::string& path) {
+  std::string partial;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!partial.empty()) ::mkdir(partial.c_str(), 0755);
+      if (i < path.size()) partial += '/';
+      continue;
+    }
+    partial += path[i];
+  }
+}
+
+void write_distribution_csv(const std::string& path, const std::vector<Distribution>& series) {
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string::npos) ensure_directory(path.substr(0, slash));
+  std::ofstream out(path);
+  out << "percentile";
+  for (const auto& s : series) out << ',' << s.format_name;
+  out << '\n';
+  const int steps = 100;
+  for (int p = 0; p <= steps; ++p) {
+    const double pct = static_cast<double>(p);
+    out << pct;
+    for (const auto& s : series) {
+      const double v = s.percentile(pct);
+      out << ',';
+      if (std::isfinite(v)) out << v;
+    }
+    out << '\n';
+  }
+  out << "# failures";
+  for (const auto& s : series) {
+    out << ", " << s.format_name << ": omega=" << s.n_omega << " sigma=" << s.n_sigma << " of "
+        << s.n_total;
+  }
+  out << '\n';
+}
+
+namespace {
+constexpr const char* kSymbols = "*o+x#@%&";
+}
+
+std::string ascii_panel(const std::vector<Distribution>& series, const std::string& title,
+                        int width, int height) {
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : series) {
+    if (!s.sorted_log10.empty()) {
+      lo = std::min(lo, s.sorted_log10.front());
+      hi = std::max(hi, s.sorted_log10.back());
+    }
+  }
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  if (lo > hi) {
+    os << "   (no finite series: all runs failed)\n";
+    for (std::size_t k = 0; k < series.size(); ++k) {
+      const auto& s = series[k];
+      os << "   " << kSymbols[k % 8] << " " << s.format_name << "  omega=" << s.n_omega
+         << " sigma=" << s.n_sigma << " / " << s.n_total << "\n";
+    }
+    return os.str();
+  }
+  if (hi - lo < 1e-9) hi = lo + 1.0;
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const auto& s = series[k];
+    const char sym = kSymbols[k % 8];
+    if (s.n_total == 0) continue;
+    for (int c = 0; c < width; ++c) {
+      const double pct = 100.0 * c / (width - 1);
+      const double v = s.percentile(pct);
+      if (!std::isfinite(v)) continue;
+      int r = static_cast<int>((hi - v) / (hi - lo) * (height - 1) + 0.5);
+      r = std::clamp(r, 0, height - 1);
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = sym;
+    }
+  }
+  char buf[64];
+  for (int r = 0; r < height; ++r) {
+    const double v = hi - (hi - lo) * r / (height - 1);
+    std::snprintf(buf, sizeof buf, "%7.1f |", v);
+    os << buf << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << "        +" << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  os << "         0%" << std::string(static_cast<std::size_t>(width) - 8, ' ') << "100%\n";
+  os << "   log10(relative error) vs percentile;";
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    os << "  " << kSymbols[k % 8] << "=" << series[k].format_name;
+  }
+  os << "\n";
+  for (const auto& s : series) {
+    if (s.n_omega + s.n_sigma > 0) {
+      os << "   " << s.format_name << ": omega(no conv)=" << s.n_omega
+         << " sigma(range)=" << s.n_sigma << " of " << s.n_total << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string summary_table(const std::vector<Distribution>& series, const std::string& title) {
+  std::ostringstream os;
+  os << "-- " << title << " --\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-12s %8s %8s %8s %6s %6s %6s\n", "format", "p25", "median",
+                "p75", "ok", "omega", "sigma");
+  os << buf;
+  for (const auto& s : series) {
+    const double p25 = s.percentile(25), p50 = s.percentile(50), p75 = s.percentile(75);
+    auto fmt = [](double v, char* b, std::size_t sz) {
+      if (std::isfinite(v)) {
+        std::snprintf(b, sz, "%8.2f", v);
+      } else {
+        std::snprintf(b, sz, "%8s", "inf");
+      }
+    };
+    char b25[16], b50[16], b75[16];
+    fmt(p25, b25, sizeof b25);
+    fmt(p50, b50, sizeof b50);
+    fmt(p75, b75, sizeof b75);
+    std::snprintf(buf, sizeof buf, "%-12s %s %s %s %6zu %6zu %6zu\n", s.format_name.c_str(), b25,
+                  b50, b75, s.n_finite(), s.n_omega, s.n_sigma);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace mfla

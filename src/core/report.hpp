@@ -1,0 +1,31 @@
+// Rendering of experiment results: CSV series (one file per panel, exactly
+// the data behind the paper's figures), ASCII plots for the terminal, and
+// summary tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/distribution.hpp"
+
+namespace mfla {
+
+/// CSV with columns: percentile, then one column per format (log10 relative
+/// error; empty cells once the series enters its failure tail). A trailing
+/// comment records the ∞ω/∞σ counts per format.
+void write_distribution_csv(const std::string& path, const std::vector<Distribution>& series);
+
+/// Terminal rendering of a cumulative-distribution panel (percentile on x,
+/// log10 relative error on y), one symbol per format.
+[[nodiscard]] std::string ascii_panel(const std::vector<Distribution>& series,
+                                      const std::string& title, int width = 72, int height = 18);
+
+/// Summary table: per format, the p25/median/p75 of log10 relative error
+/// plus failure tallies.
+[[nodiscard]] std::string summary_table(const std::vector<Distribution>& series,
+                                        const std::string& title);
+
+/// Ensure the output directory exists (best-effort mkdir -p).
+void ensure_directory(const std::string& path);
+
+}  // namespace mfla

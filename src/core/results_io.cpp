@@ -1,0 +1,117 @@
+#include "core/results_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/report.hpp"
+
+namespace mfla {
+
+const char* outcome_name(RunOutcome o) noexcept {
+  switch (o) {
+    case RunOutcome::ok: return "ok";
+    case RunOutcome::no_convergence: return "omega";
+    case RunOutcome::range_exceeded: return "sigma";
+  }
+  return "unknown";
+}
+
+RunOutcome outcome_from_name(const std::string& s) {
+  if (s == "ok") return RunOutcome::ok;
+  if (s == "omega") return RunOutcome::no_convergence;
+  if (s == "sigma") return RunOutcome::range_exceeded;
+  throw std::invalid_argument("unknown outcome '" + s + "'");
+}
+
+namespace {
+
+FormatId format_from_name(const std::string& name) {
+  for (const auto& f : all_formats()) {
+    if (f.name == name) return f.id;
+  }
+  throw std::invalid_argument("unknown format '" + name + "'");
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  return out;
+}
+
+}  // namespace
+
+void write_results_csv(const std::string& path, const std::vector<MatrixResult>& results) {
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string::npos) ensure_directory(path.substr(0, slash));
+  std::ofstream out(path);
+  out.precision(17);
+  out << "matrix,class,category,n,nnz,format,outcome,eig_abs,eig_rel,vec_abs,vec_rel,"
+         "similarity,nconv,restarts,matvecs\n";
+  for (const auto& mr : results) {
+    if (!mr.reference_ok) {
+      out << mr.name << ',' << mr.klass << ',' << mr.category << ',' << mr.n << ',' << mr.nnz
+          << ",-,reference_failed,,,,,,,,\n";
+      continue;
+    }
+    for (const auto& run : mr.runs) {
+      out << mr.name << ',' << mr.klass << ',' << mr.category << ',' << mr.n << ',' << mr.nnz
+          << ',' << format_info(run.format).name << ',' << outcome_name(run.outcome) << ','
+          << run.eigenvalue_error.absolute << ',' << run.eigenvalue_error.relative << ','
+          << run.eigenvector_error.absolute << ',' << run.eigenvector_error.relative << ','
+          << run.mean_similarity << ',' << run.nconverged << ',' << run.restarts << ','
+          << run.matvecs << '\n';
+    }
+  }
+}
+
+std::vector<MatrixResult> read_results_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("results csv: cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("results csv: empty file");
+  std::map<std::string, std::size_t> index;
+  std::vector<MatrixResult> results;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv(line);
+    if (f.size() < 7) throw std::runtime_error("results csv: bad row '" + line + "'");
+    auto [it, inserted] = index.try_emplace(f[0], results.size());
+    if (inserted) {
+      MatrixResult mr;
+      mr.name = f[0];
+      mr.klass = f[1];
+      mr.category = f[2];
+      mr.n = static_cast<std::size_t>(std::stoull(f[3]));
+      mr.nnz = static_cast<std::size_t>(std::stoull(f[4]));
+      mr.reference_ok = f[6] != "reference_failed";
+      results.push_back(mr);
+    }
+    MatrixResult& mr = results[it->second];
+    if (f[6] == "reference_failed") {
+      mr.reference_ok = false;
+      continue;
+    }
+    if (f.size() < 15) throw std::runtime_error("results csv: truncated row '" + line + "'");
+    FormatRun run;
+    run.format = format_from_name(f[5]);
+    run.outcome = outcome_from_name(f[6]);
+    if (run.outcome == RunOutcome::ok) {
+      run.eigenvalue_error.absolute = std::stod(f[7]);
+      run.eigenvalue_error.relative = std::stod(f[8]);
+      run.eigenvector_error.absolute = std::stod(f[9]);
+      run.eigenvector_error.relative = std::stod(f[10]);
+      run.mean_similarity = std::stod(f[11]);
+    }
+    run.nconverged = static_cast<std::size_t>(std::stoull(f[12]));
+    run.restarts = std::stoi(f[13]);
+    run.matvecs = static_cast<std::size_t>(std::stoull(f[14]));
+    mr.runs.push_back(run);
+  }
+  return results;
+}
+
+}  // namespace mfla

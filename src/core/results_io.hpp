@@ -1,0 +1,25 @@
+// Persistence of raw experiment results: one CSV row per (matrix, format)
+// run with outcome, errors and solver statistics — the MuFoLAB-style raw
+// data behind the figures, so distributions can be re-binned offline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace mfla {
+
+/// Write raw per-run results. Columns:
+/// matrix,class,category,n,nnz,format,outcome,eig_abs,eig_rel,vec_abs,
+/// vec_rel,similarity,nconv,restarts,matvecs
+void write_results_csv(const std::string& path, const std::vector<MatrixResult>& results);
+
+/// Read back a results CSV written by write_results_csv. Only the fields
+/// needed to rebuild distributions are restored (errors, outcome, format).
+[[nodiscard]] std::vector<MatrixResult> read_results_csv(const std::string& path);
+
+[[nodiscard]] const char* outcome_name(RunOutcome o) noexcept;
+[[nodiscard]] RunOutcome outcome_from_name(const std::string& s);
+
+}  // namespace mfla

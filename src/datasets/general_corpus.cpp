@@ -1,0 +1,230 @@
+#include "datasets/general_corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace mfla {
+
+namespace {
+
+/// Symmetric band matrix with bandwidth b; diagonal dominance `dom` and a
+/// global scale factor.
+CooMatrix band_matrix(std::size_t n, std::size_t b, double dom, double scale, Rng& rng) {
+  CooMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i),
+          scale * (dom + rng.uniform(0.0, 1.0)));
+    for (std::size_t d = 1; d <= b && i + d < n; ++d) {
+      const double v = scale * rng.uniform(-1.0, 1.0);
+      a.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + d), v);
+      a.add(static_cast<std::uint32_t>(i + d), static_cast<std::uint32_t>(i), v);
+    }
+  }
+  a.compress();
+  return a;
+}
+
+/// Random sparse symmetric matrix with ~density*n^2/2 entries.
+CooMatrix random_symmetric(std::size_t n, double density, double scale, Rng& rng) {
+  CooMatrix a(n, n);
+  const auto target = static_cast<std::size_t>(density * static_cast<double>(n) * static_cast<double>(n) / 2.0) + n;
+  for (std::size_t k = 0; k < target; ++k) {
+    const auto i = static_cast<std::uint32_t>(rng.uniform_index(n));
+    const auto j = static_cast<std::uint32_t>(rng.uniform_index(n));
+    const double v = scale * rng.normal();
+    a.add(i, j, v);
+    if (i != j) a.add(j, i, v);
+  }
+  a.compress();
+  return a;
+}
+
+/// Diagonally dominant symmetric matrix (well conditioned).
+CooMatrix diag_dominant(std::size_t n, std::size_t per_row, double scale, Rng& rng) {
+  CooMatrix a(n, n);
+  std::vector<double> diag(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < per_row; ++k) {
+      const auto j = static_cast<std::uint32_t>(rng.uniform_index(n));
+      if (j == i) continue;
+      const double v = scale * rng.uniform(-1.0, 1.0);
+      a.add(static_cast<std::uint32_t>(i), j, v);
+      a.add(j, static_cast<std::uint32_t>(i), v);
+      diag[i] += std::abs(v);
+      diag[j] += std::abs(v);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i),
+          diag[i] * (1.0 + rng.uniform()) + scale);
+  }
+  a.compress();
+  return a;
+}
+
+/// 1-D/2-D Laplacian stencil (classic PDE test matrix).
+CooMatrix stencil_laplacian(std::size_t n, bool two_d, double scale) {
+  CooMatrix a(n, n);
+  if (!two_d) {
+    for (std::size_t i = 0; i < n; ++i) {
+      a.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i), 2.0 * scale);
+      if (i + 1 < n) {
+        a.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + 1), -scale);
+        a.add(static_cast<std::uint32_t>(i + 1), static_cast<std::uint32_t>(i), -scale);
+      }
+    }
+  } else {
+    const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+    const std::size_t m = side * side;
+    a.set_shape(m, m);
+    auto id = [side](std::size_t r, std::size_t c) { return static_cast<std::uint32_t>(r * side + c); };
+    for (std::size_t r = 0; r < side; ++r) {
+      for (std::size_t c = 0; c < side; ++c) {
+        a.add(id(r, c), id(r, c), 4.0 * scale);
+        if (c + 1 < side) {
+          a.add(id(r, c), id(r, c + 1), -scale);
+          a.add(id(r, c + 1), id(r, c), -scale);
+        }
+        if (r + 1 < side) {
+          a.add(id(r, c), id(r + 1, c), -scale);
+          a.add(id(r + 1, c), id(r, c), -scale);
+        }
+      }
+    }
+  }
+  a.compress();
+  return a;
+}
+
+/// Arrow matrix: heavy diagonal plus a dense first row/column.
+CooMatrix arrow_matrix(std::size_t n, double scale, Rng& rng) {
+  CooMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i),
+          scale * rng.log_uniform(-2.0, 2.0));
+    if (i > 0) {
+      const double v = scale * rng.uniform(-1.0, 1.0);
+      a.add(0, static_cast<std::uint32_t>(i), v);
+      a.add(static_cast<std::uint32_t>(i), 0, v);
+    }
+  }
+  a.compress();
+  return a;
+}
+
+/// Rank-k outer-product structure plus sparse symmetric noise: produces
+/// tightly clustered dominant eigenvalues (stresses the paper's matching
+/// method and the buffer-count machinery).
+CooMatrix low_rank_plus_noise(std::size_t n, std::size_t rank, double scale, Rng& rng) {
+  CooMatrix a(n, n);
+  std::vector<std::vector<double>> u(rank);
+  for (auto& col : u) col = rng.unit_vector(n);
+  // Dense rank-k part restricted to a sparse sampling pattern to respect
+  // the nnz budget.
+  const std::size_t samples = 6 * n;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto i = static_cast<std::uint32_t>(rng.uniform_index(n));
+    const auto j = static_cast<std::uint32_t>(rng.uniform_index(n));
+    double v = 0.0;
+    for (std::size_t r = 0; r < rank; ++r) v += u[r][i] * u[r][j];
+    v *= scale * static_cast<double>(n) / 4.0;
+    v += 0.01 * scale * rng.normal();
+    a.add(i, j, v);
+    if (i != j) a.add(j, i, v);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = scale;
+    for (std::size_t r = 0; r < rank; ++r) v += scale * u[r][i] * u[r][i] * static_cast<double>(n) / 4.0;
+    a.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i), v);
+  }
+  a.compress();
+  return a;
+}
+
+/// Wide-dynamic-range matrix: entries spread over many decades within one
+/// matrix (this is what pushes OFP8/float16 into the ∞σ regime).
+CooMatrix wide_range(std::size_t n, double lo_exp, double hi_exp, Rng& rng) {
+  CooMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i),
+          rng.log_uniform(lo_exp, hi_exp));
+    const std::size_t fan = 2 + rng.uniform_index(3);
+    for (std::size_t k = 0; k < fan; ++k) {
+      const auto j = static_cast<std::uint32_t>(rng.uniform_index(n));
+      if (j == i) continue;
+      const double sign = rng.uniform() < 0.5 ? -1.0 : 1.0;
+      const double v = sign * rng.log_uniform(lo_exp, hi_exp);
+      a.add(static_cast<std::uint32_t>(i), j, v);
+      a.add(j, static_cast<std::uint32_t>(i), v);
+    }
+  }
+  a.compress();
+  return a;
+}
+
+std::string numbered(const char* base, std::size_t i) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s_%03zu", base, i);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<TestMatrix> build_general_corpus(const GeneralCorpusOptions& opts) {
+  std::vector<TestMatrix> out;
+  out.reserve(opts.count);
+  for (std::size_t i = 0; i < opts.count; ++i) {
+    Rng rng(opts.seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+    const std::size_t n =
+        opts.min_n + rng.uniform_index(opts.max_n - opts.min_n + 1);
+    // Global scale: log-uniform over many decades, as in SuiteSparse where
+    // physical units make matrix norms range from 1e-10 to 1e+12.
+    const double scale = rng.log_uniform(-6.0, 6.0);
+    CooMatrix a;
+    std::string family;
+    switch (i % 7) {
+      case 0:
+        family = "band";
+        a = band_matrix(n, 1 + rng.uniform_index(6), rng.uniform(0.0, 4.0), scale, rng);
+        break;
+      case 1:
+        family = "randsym";
+        a = random_symmetric(n, rng.uniform(0.01, 0.08), scale, rng);
+        break;
+      case 2:
+        family = "diagdom";
+        a = diag_dominant(n, 2 + rng.uniform_index(4), scale, rng);
+        break;
+      case 3:
+        family = "stencil";
+        a = stencil_laplacian(n, rng.uniform() < 0.5, scale);
+        break;
+      case 4:
+        family = "arrow";
+        a = arrow_matrix(n, scale, rng);
+        break;
+      case 5:
+        family = "lowrank";
+        a = low_rank_plus_noise(n, 2 + rng.uniform_index(4), scale, rng);
+        break;
+      default: {
+        family = "widerange";
+        const double span = rng.uniform(3.0, 14.0);
+        const double center = rng.uniform(-6.0, 6.0);
+        a = wide_range(n, center - span, center + span, rng);
+        break;
+      }
+    }
+    if (a.nnz() > opts.max_nnz) continue;  // mirror the paper's nnz filter
+    out.push_back(make_test_matrix(numbered(family.c_str(), i), "general", family, a));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TestMatrix& x, const TestMatrix& y) { return x.name < y.name; });
+  return out;
+}
+
+}  // namespace mfla

@@ -1,0 +1,27 @@
+// Synthetic stand-in for the paper's 302 SuiteSparse general matrices
+// (symmetric, <= 20,000 non-zeros, wildly varying size, scale and
+// condition number). See DESIGN.md §3 for the substitution rationale.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "datasets/test_matrix.hpp"
+
+namespace mfla {
+
+struct GeneralCorpusOptions {
+  std::size_t count = 96;      // number of matrices
+  std::size_t min_n = 24;      // smallest dimension
+  std::size_t max_n = 220;     // largest dimension
+  std::size_t max_nnz = 20000; // paper's nnz filter
+  std::uint64_t seed = 0x5eed'0001;
+};
+
+/// Deterministic corpus of symmetric test matrices drawn from seven
+/// families (banded SPD with log-uniform spectrum, random sparse symmetric,
+/// diagonally dominant, Laplacian stencils, arrow, low-rank+noise, and
+/// wide-dynamic-range variants). Matrices are sorted by name.
+[[nodiscard]] std::vector<TestMatrix> build_general_corpus(const GeneralCorpusOptions& opts = {});
+
+}  // namespace mfla

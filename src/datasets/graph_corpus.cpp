@@ -1,0 +1,209 @@
+#include "datasets/graph_corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "support/rng.hpp"
+
+namespace mfla {
+
+namespace {
+
+std::string numbered(const std::string& base, std::size_t i) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s_%03zu", base.c_str(), i);
+  return buf;
+}
+
+std::uint32_t pick_n(Rng& rng, const GraphCorpusOptions& opts) {
+  return static_cast<std::uint32_t>(opts.min_n +
+                                    rng.uniform_index(opts.max_n - opts.min_n + 1));
+}
+
+/// Apply log-uniform random weights to an unweighted adjacency (models the
+/// weighted econ/retweet graphs whose extreme weights drive the paper's
+/// ∞σ tails in the miscellaneous class even at 16/32 bits).
+CooMatrix randomize_weights(const CooMatrix& a, double lo_exp, double hi_exp, Rng& rng) {
+  CooMatrix w(a.rows(), a.cols());
+  w.reserve(a.nnz());
+  for (const auto& t : a.triplets()) {
+    if (t.row <= t.col) {
+      const double v = rng.log_uniform(lo_exp, hi_exp);
+      w.add(t.row, t.col, v);
+      if (t.row != t.col) w.add(t.col, t.row, v);
+    }
+  }
+  w.compress();
+  return w;
+}
+
+/// Two connected hubs with `leaves` pendant vertices each: the hub-hub
+/// Laplacian entry is ~1/(leaves+1), below the OFP8 E4M3 subnormal floor
+/// once leaves >= 512 (the paper's unweighted ∞σ mechanism).
+CooMatrix twin_star(std::uint32_t leaves) {
+  CooMatrix a(2 + 2 * leaves, 2 + 2 * leaves);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  for (std::uint32_t i = 0; i < leaves; ++i) {
+    a.add(0, 2 + i, 1.0);
+    a.add(2 + i, 0, 1.0);
+    a.add(1, 2 + leaves + i, 1.0);
+    a.add(2 + leaves + i, 1, 1.0);
+  }
+  a.compress();
+  return a;
+}
+
+struct Generated {
+  std::string category;
+  CooMatrix adjacency;
+};
+
+Generated make_biological(std::size_t i, Rng& rng, const GraphCorpusOptions& opts) {
+  const std::uint32_t n = pick_n(rng, opts);
+  // Paper Table 1: protein dominates the class (1178 of 1219).
+  const std::size_t r = i % 20;
+  if (r < 16) return {"protein", duplication_divergence(n, rng.uniform(0.25, 0.6), rng)};
+  if (r < 18) return {"bio", barabasi_albert(n, 1 + static_cast<std::uint32_t>(rng.uniform_index(3)), rng)};
+  if (r < 19) return {"bn", watts_strogatz(n, 3, 0.15, rng)};
+  return {"eco", erdos_renyi(n / 4 + 8, rng.uniform(0.15, 0.4), rng)};
+}
+
+Generated make_infrastructure(std::size_t i, Rng& rng, const GraphCorpusOptions& opts) {
+  const std::uint32_t n = pick_n(rng, opts);
+  switch (i % 6) {
+    case 0: {
+      const auto side = static_cast<std::uint32_t>(std::max(4.0, std::sqrt(static_cast<double>(n))));
+      return {"road", grid_2d(side, side, rng.uniform(0.0, 0.08), rng)};
+    }
+    case 1:
+      return {"power", ring_of_cliques(std::max<std::uint32_t>(4, n / 12), 8)};
+    case 2:
+      return {"inf", random_geometric(n, rng.uniform(0.08, 0.2), rng)};
+    case 3:
+      return {"tech", barabasi_albert(n, 2, rng)};
+    case 4:
+      return {"web", add_hubs(barabasi_albert(n, 1, rng), 2, n / 4, rng)};
+    default:
+      return {"power", watts_strogatz(n, 2, 0.05, rng)};
+  }
+}
+
+Generated make_social(std::size_t i, Rng& rng, const GraphCorpusOptions& opts) {
+  const std::uint32_t n = pick_n(rng, opts);
+  switch (i % 7) {
+    case 0:
+      return {"soc", stochastic_block(n, 2 + static_cast<std::uint32_t>(rng.uniform_index(4)),
+                                      rng.uniform(0.15, 0.4), rng.uniform(0.005, 0.04), rng)};
+    case 1:
+      return {"socfb", stochastic_block(n, 2, rng.uniform(0.3, 0.6), rng.uniform(0.02, 0.08), rng)};
+    case 2:
+      return {"ca", disjoint_union(ring_of_cliques(std::max<std::uint32_t>(3, n / 16), 6),
+                                   erdos_renyi(n / 3 + 8, 0.08, rng))};
+    case 3:
+      return {"ia", barabasi_albert(n, 2, rng)};
+    case 4:
+      return {"rt", add_hubs(star(n / 2), 3, n / 3, rng)};
+    case 5:
+      return {"email", barabasi_albert(n, 1, rng)};
+    default:
+      return {"econ", randomize_weights(erdos_renyi(n / 2 + 10, 0.06, rng), -2.0, 2.0, rng)};
+  }
+}
+
+Generated make_miscellaneous(std::size_t i, Rng& rng, const GraphCorpusOptions& opts) {
+  const std::uint32_t n = pick_n(rng, opts);
+  switch (i % 9) {
+    case 0:
+      return {"rand", erdos_renyi(n, rng.uniform(0.02, 0.15), rng)};
+    case 1:
+      return {"misc", erdos_renyi(n, rng.uniform(0.01, 0.05), rng)};
+    case 2:  // eigenvalue multiplicities: complete graphs
+      return {"dimacs", complete(16 + static_cast<std::uint32_t>(rng.uniform_index(24)))};
+    case 3:  // multiplicities: complete bipartite
+      return {"dimacs", complete_bipartite(8 + static_cast<std::uint32_t>(rng.uniform_index(16)),
+                                           8 + static_cast<std::uint32_t>(rng.uniform_index(16)))};
+    case 4: {  // repeated identical components: exactly degenerate spectra
+      const CooMatrix unit = complete(6);
+      CooMatrix u = unit;
+      const std::size_t copies = 3 + rng.uniform_index(4);
+      for (std::size_t c = 1; c < copies; ++c) u = disjoint_union(u, unit);
+      return {"labeled", disjoint_union(u, path(n / 4 + 4))};
+    }
+    case 5:  // unweighted ∞σ driver: twin hubs with >= 512 leaves
+      return {"misc", twin_star(512 + static_cast<std::uint32_t>(rng.uniform_index(256)))};
+    case 6:  // weighted wide-dynamic-range graphs (econ-like)
+      return {"misc",
+              randomize_weights(erdos_renyi(n, 0.04, rng), -7.0, 7.0, rng)};
+    case 7:
+      return {"labeled", binary_tree(n)};
+    default:
+      return {"rand", watts_strogatz(n, 1 + static_cast<std::uint32_t>(rng.uniform_index(3)),
+                                     rng.uniform(0.0, 1.0), rng)};
+  }
+}
+
+Generated make_for_class(const std::string& klass, std::size_t i, Rng& rng,
+                         const GraphCorpusOptions& opts) {
+  if (klass == "biological") return make_biological(i, rng, opts);
+  if (klass == "infrastructure") return make_infrastructure(i, rng, opts);
+  if (klass == "social") return make_social(i, rng, opts);
+  if (klass == "miscellaneous") return make_miscellaneous(i, rng, opts);
+  throw std::invalid_argument("unknown graph class '" + klass + "'");
+}
+
+std::size_t class_count(const GraphCorpusOptions& opts, const std::string& klass) {
+  if (klass == "biological") return opts.counts.biological;
+  if (klass == "infrastructure") return opts.counts.infrastructure;
+  if (klass == "social") return opts.counts.social;
+  if (klass == "miscellaneous") return opts.counts.miscellaneous;
+  return 0;
+}
+
+}  // namespace
+
+std::vector<TestMatrix> build_graph_corpus(const GraphCorpusOptions& opts,
+                                           const std::string& klass) {
+  const std::vector<std::string> classes =
+      klass.empty() ? std::vector<std::string>{"biological", "infrastructure", "social",
+                                               "miscellaneous"}
+                    : std::vector<std::string>{klass};
+  std::vector<TestMatrix> out;
+  for (const auto& cls : classes) {
+    const std::size_t count = class_count(opts, cls);
+    for (std::size_t i = 0; i < count; ++i) {
+      Rng rng(fnv1a(cls) ^ (opts.seed + 0x100000001b3ull * (i + 1)));
+      Generated g = make_for_class(cls, i, rng, opts);
+      const CooMatrix lap = graph_laplacian_pipeline(g.adjacency);
+      if (lap.rows() < 16) continue;  // too small to ask for 12 eigenpairs
+      out.push_back(make_test_matrix(numbered(cls + "_" + g.category, i), cls, g.category, lap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TestMatrix& x, const TestMatrix& y) { return x.name < y.name; });
+  return out;
+}
+
+std::vector<CategoryCount> graph_corpus_composition(const GraphCorpusOptions& opts) {
+  const auto corpus = build_graph_corpus(opts);
+  std::vector<CategoryCount> counts;
+  for (const auto& t : corpus) {
+    auto it = std::find_if(counts.begin(), counts.end(), [&t](const CategoryCount& c) {
+      return c.klass == t.klass && c.category == t.category;
+    });
+    if (it == counts.end()) {
+      counts.push_back({t.klass, t.category, 1});
+    } else {
+      ++it->count;
+    }
+  }
+  std::sort(counts.begin(), counts.end(), [](const CategoryCount& a, const CategoryCount& b) {
+    return a.klass != b.klass ? a.klass < b.klass : a.category < b.category;
+  });
+  return counts;
+}
+
+}  // namespace mfla

@@ -1,0 +1,45 @@
+// Synthetic stand-in for the Network Repository graph corpus (paper §2.1
+// and Table 1): four aggregated classes built from per-category generators,
+// each graph turned into its symmetrized normalized Laplacian.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "datasets/test_matrix.hpp"
+
+namespace mfla {
+
+struct GraphClassCounts {
+  std::size_t biological = 72;
+  std::size_t infrastructure = 29;  // paper's class size, kept 1:1
+  std::size_t social = 48;
+  std::size_t miscellaneous = 96;
+};
+
+struct GraphCorpusOptions {
+  GraphClassCounts counts;
+  std::size_t min_n = 24;
+  std::size_t max_n = 360;
+  std::uint64_t seed = 0x5eed'0002;
+};
+
+/// Category histogram entry for the Table-1 reproduction.
+struct CategoryCount {
+  std::string klass;
+  std::string category;
+  std::size_t count;
+};
+
+/// Build one class ("biological", "infrastructure", "social",
+/// "miscellaneous") or all classes (empty name). Matrices are the
+/// symmetrized normalized Laplacians, sorted lexicographically by name.
+[[nodiscard]] std::vector<TestMatrix> build_graph_corpus(const GraphCorpusOptions& opts = {},
+                                                         const std::string& klass = "");
+
+/// Per-category composition of the corpus (drives bench_table1_dataset).
+[[nodiscard]] std::vector<CategoryCount> graph_corpus_composition(
+    const GraphCorpusOptions& opts = {});
+
+}  // namespace mfla

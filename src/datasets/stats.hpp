@@ -1,0 +1,83 @@
+// Matrix statistics used by the dataset reports: entry-magnitude dynamic
+// range, norm estimates and an extremal-eigenvalue condition estimate (via
+// the library's own solver), mirroring the per-matrix metadata the paper's
+// MuFoLAB framework records for its corpora.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "core/krylov_schur.hpp"
+#include "datasets/test_matrix.hpp"
+
+namespace mfla {
+
+struct MatrixStats {
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+  double min_abs = 0.0;       // smallest non-zero |entry|
+  double max_abs = 0.0;       // largest |entry|
+  double dynamic_range = 0.0; // max_abs / min_abs
+  double frobenius = 0.0;
+  double inf_norm = 0.0;      // max row sum of |entries|
+  double lambda_max = std::numeric_limits<double>::quiet_NaN();
+  double lambda_min_mag = std::numeric_limits<double>::quiet_NaN();
+  double condition_estimate = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Entry-level statistics (cheap, always available).
+[[nodiscard]] inline MatrixStats matrix_entry_stats(const CsrMatrix<double>& a) {
+  MatrixStats s;
+  s.n = a.rows();
+  s.nnz = a.nnz();
+  s.min_abs = std::numeric_limits<double>::infinity();
+  double fro2 = 0.0;
+  std::vector<double> row_sum(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::uint32_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {
+      const double v = std::abs(a.values()[k]);
+      if (v > 0) {
+        s.min_abs = std::min(s.min_abs, v);
+        s.max_abs = std::max(s.max_abs, v);
+      }
+      fro2 += v * v;
+      row_sum[i] += v;
+    }
+  }
+  if (!std::isfinite(s.min_abs)) s.min_abs = 0.0;
+  s.dynamic_range = (s.min_abs > 0) ? s.max_abs / s.min_abs : 0.0;
+  s.frobenius = std::sqrt(fro2);
+  for (const double r : row_sum) s.inf_norm = std::max(s.inf_norm, r);
+  return s;
+}
+
+/// Extremal-eigenvalue condition estimate for a symmetric matrix:
+/// |lambda|_max / |lambda|_min via two partialschur runs (LM and SM).
+/// Returns the entry stats augmented with the spectral quantities; the
+/// spectral fields stay NaN when either solve fails.
+[[nodiscard]] inline MatrixStats matrix_spectral_stats(const CsrMatrix<double>& a,
+                                                       int max_restarts = 80) {
+  MatrixStats s = matrix_entry_stats(a);
+  PartialSchurOptions opts;
+  opts.nev = 1;
+  opts.tolerance = 1e-8;
+  opts.max_restarts = max_restarts;
+  opts.which = Which::largest_magnitude;
+  const auto hi = partialschur<double>(a, opts);
+  if (hi.converged && !hi.eig_re.empty()) {
+    s.lambda_max = std::hypot(hi.eig_re[0], hi.eig_im[0]);
+  }
+  opts.which = Which::smallest_magnitude;
+  opts.max_restarts = 2 * max_restarts;  // interior-most eigenvalue is harder
+  const auto lo = partialschur<double>(a, opts);
+  if (lo.converged && !lo.eig_re.empty()) {
+    s.lambda_min_mag = std::hypot(lo.eig_re[0], lo.eig_im[0]);
+  }
+  if (std::isfinite(s.lambda_max) && std::isfinite(s.lambda_min_mag) && s.lambda_min_mag > 0) {
+    s.condition_estimate = s.lambda_max / s.lambda_min_mag;
+  }
+  return s;
+}
+
+}  // namespace mfla

@@ -1,0 +1,34 @@
+// TestMatrix: a named symmetric sparse matrix with metadata, mirroring the
+// paper's MuFoLAB TestMatrix structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace mfla {
+
+struct TestMatrix {
+  std::string name;      // e.g. "protein_dd_042"
+  std::string klass;     // aggregated class: biological / infrastructure /
+                         // social / miscellaneous / general
+  std::string category;  // source category: protein, road, soc, misc, ...
+  CsrMatrix<double> matrix;
+
+  [[nodiscard]] std::size_t n() const { return matrix.rows(); }
+  [[nodiscard]] std::size_t nnz() const { return matrix.nnz(); }
+};
+
+[[nodiscard]] inline TestMatrix make_test_matrix(std::string name, std::string klass,
+                                                 std::string category, const CooMatrix& coo) {
+  TestMatrix t;
+  t.name = std::move(name);
+  t.klass = std::move(klass);
+  t.category = std::move(category);
+  t.matrix = CsrMatrix<double>::from_coo(coo);
+  return t;
+}
+
+}  // namespace mfla

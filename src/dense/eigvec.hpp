@@ -1,0 +1,73 @@
+// Eigenvector extraction from a real Schur decomposition (T, Z): for a real
+// eigenvalue at diagonal position k, back-substitute through the leading
+// quasi-triangular block and rotate back through Z.
+//
+// The evaluation pipeline itself works on *symmetric* matrices, where the
+// Schur vectors are already the eigenvectors (R is diagonal); this routine
+// completes the library for general real matrices with real eigenvalues.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arith/traits.hpp"
+#include "dense/matrix.hpp"
+
+namespace mfla {
+
+/// Right eigenvector for the real eigenvalue at 1x1 diagonal position k of
+/// the quasi-triangular t; the vector is expressed in the Schur basis and
+/// then mapped through z. Returns an empty vector if k sits inside a 2x2
+/// (complex) block.
+template <typename T>
+[[nodiscard]] std::vector<T> schur_eigenvector(const DenseMatrix<T>& t, const DenseMatrix<T>& z,
+                                               std::size_t k) {
+  const std::size_t n = t.rows();
+  const bool in_pair_below = (k + 1 < n && t(k + 1, k) != T(0));
+  const bool in_pair_above = (k > 0 && t(k, k - 1) != T(0));
+  if (in_pair_below || in_pair_above) return {};
+
+  const T lambda = t(k, k);
+  const T smallnum = NumTraits<T>::from_double(NumTraits<T>::epsilon());
+  std::vector<T> y(k + 1, T(0));
+  y[k] = T(1);
+
+  std::size_t i = k;
+  while (i-- > 0) {
+    T rhs(0);
+    for (std::size_t j = i + 1; j <= k; ++j) rhs -= t(i, j) * y[j];
+    if (i > 0 && t(i, i - 1) != T(0)) {
+      // 2x2 block rows (i-1, i): solve the coupled system.
+      T rhs0(0);
+      for (std::size_t j = i + 1; j <= k; ++j) rhs0 -= t(i - 1, j) * y[j];
+      const T a = t(i - 1, i - 1) - lambda, b = t(i - 1, i);
+      const T c = t(i, i - 1), d = t(i, i) - lambda;
+      T det = a * d - b * c;
+      if (abs(det) < smallnum) det = (det < T(0)) ? -smallnum : smallnum;
+      y[i - 1] = (rhs0 * d - b * rhs) / det;
+      y[i] = (a * rhs - rhs0 * c) / det;
+      --i;
+    } else {
+      T denom = t(i, i) - lambda;
+      if (abs(denom) < smallnum) denom = (denom < T(0)) ? -smallnum : smallnum;
+      y[i] = rhs / denom;
+    }
+  }
+
+  // x = Z(:, 0..k) * y, normalized.
+  std::vector<T> x(z.rows(), T(0));
+  for (std::size_t j = 0; j <= k; ++j) {
+    const T yj = y[j];
+    for (std::size_t r = 0; r < z.rows(); ++r) x[r] += z(r, j) * yj;
+  }
+  T norm2(0);
+  for (const T& v : x) norm2 += v * v;
+  const T nrm = sqrt(norm2);
+  if (is_number(nrm) && nrm != T(0)) {
+    const T inv = T(1) / nrm;
+    for (T& v : x) v *= inv;
+  }
+  return x;
+}
+
+}  // namespace mfla

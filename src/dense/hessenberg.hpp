@@ -1,0 +1,78 @@
+// Householder reduction of a dense square matrix to upper Hessenberg form,
+// with accumulation of the orthogonal similarity.
+//
+// Used by the Krylov–Schur restart: after truncation the Rayleigh quotient
+// matrix is (quasi-triangular + spike + Hessenberg extension); it must be
+// restored to Hessenberg form before the Francis QR sweep.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arith/quad.hpp"
+#include "dense/matrix.hpp"
+
+namespace mfla {
+
+/// In place: a becomes upper Hessenberg H = Q^T A Q; q (same size,
+/// pre-initialized, typically identity) becomes q·Q.
+/// Returns false if a non-finite value appeared (low-precision overflow).
+template <typename T>
+bool hessenberg_reduce(DenseMatrix<T>& a, DenseMatrix<T>& q) {
+  const std::size_t n = a.rows();
+  if (n <= 2) return true;
+  std::vector<T> v(n), w(n);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder reflector annihilating a(k+2..n-1, k).
+    T scale(0);
+    for (std::size_t i = k + 1; i < n; ++i) scale += abs(a(i, k));
+    if (!is_number(scale)) return false;
+    if (scale == T(0)) continue;
+    T alpha2(0);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      v[i] = a(i, k) / scale;
+      alpha2 += v[i] * v[i];
+    }
+    T alpha = sqrt(alpha2);
+    if (!is_number(alpha) || alpha == T(0)) continue;
+    if (v[k + 1] > T(0)) alpha = -alpha;
+    // v := x - alpha e1, beta = 1/(alpha^2 - alpha x1) so P = I - beta v v^T.
+    const T denom = alpha2 - v[k + 1] * alpha;
+    if (denom == T(0)) continue;
+    const T beta = T(1) / denom;
+    v[k + 1] = v[k + 1] - alpha;
+    if (!is_number(beta)) return false;
+
+    // Apply from the left: A := P A on rows k+1..n-1.
+    for (std::size_t j = 0; j < n; ++j) {
+      T s(0);
+      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * a(i, j);
+      s *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) a(i, j) -= s * v[i];
+    }
+    // Apply from the right: A := A P on cols k+1..n-1.
+    for (std::size_t i = 0; i < n; ++i) {
+      T s(0);
+      for (std::size_t j = k + 1; j < n; ++j) s += a(i, j) * v[j];
+      s *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= s * v[j];
+    }
+    // Accumulate: Q := Q P.
+    for (std::size_t i = 0; i < q.rows(); ++i) {
+      T s(0);
+      for (std::size_t j = k + 1; j < n; ++j) s += q(i, j) * v[j];
+      s *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) q(i, j) -= s * v[j];
+    }
+    // Restore the exact Hessenberg pattern.
+    a(k + 1, k) = alpha * scale;
+    for (std::size_t i = k + 2; i < n; ++i) a(i, k) = T(0);
+  }
+  // Validate finiteness once at the end.
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      if (!is_number(a(i, j))) return false;
+  return true;
+}
+
+}  // namespace mfla

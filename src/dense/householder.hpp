@@ -1,0 +1,64 @@
+// Thin Householder QR factorization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arith/quad.hpp"
+#include "dense/matrix.hpp"
+
+namespace mfla {
+
+/// Factor a (m x n, m >= n) as Q R with Q thin-orthonormal (m x n) and R
+/// upper triangular (n x n). Returns false on numerical breakdown.
+template <typename T>
+bool qr_factor(const DenseMatrix<T>& a, DenseMatrix<T>& q, DenseMatrix<T>& r) {
+  const std::size_t m = a.rows(), n = a.cols();
+  DenseMatrix<T> w = a;  // working copy, becomes R + reflectors
+  std::vector<std::vector<T>> vs;
+  std::vector<T> betas;
+  vs.reserve(n);
+  for (std::size_t k = 0; k < n && k < m; ++k) {
+    T norm2(0);
+    for (std::size_t i = k; i < m; ++i) norm2 += w(i, k) * w(i, k);
+    T alpha = sqrt(norm2);
+    if (!is_number(alpha)) return false;
+    std::vector<T> v(m, T(0));
+    T beta(0);
+    if (alpha != T(0)) {
+      if (w(k, k) > T(0)) alpha = -alpha;
+      for (std::size_t i = k; i < m; ++i) v[i] = w(i, k);
+      v[k] -= alpha;
+      const T denom = norm2 - w(k, k) * alpha;
+      if (denom != T(0)) {
+        beta = T(1) / denom;
+        for (std::size_t j = k; j < n; ++j) {
+          T s(0);
+          for (std::size_t i = k; i < m; ++i) s += v[i] * w(i, j);
+          s *= beta;
+          for (std::size_t i = k; i < m; ++i) w(i, j) -= s * v[i];
+        }
+      }
+    }
+    vs.push_back(std::move(v));
+    betas.push_back(beta);
+  }
+  r = DenseMatrix<T>(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) r(i, j) = w(i, j);
+  // Q = H_0 ... H_{n-1} applied to the thin identity.
+  q = DenseMatrix<T>(m, n);
+  for (std::size_t j = 0; j < n && j < m; ++j) q(j, j) = T(1);
+  for (std::size_t k = vs.size(); k-- > 0;) {
+    if (betas[k] == T(0)) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      T s(0);
+      for (std::size_t i = k; i < m; ++i) s += vs[k][i] * q(i, j);
+      s *= betas[k];
+      for (std::size_t i = k; i < m; ++i) q(i, j) -= s * vs[k][i];
+    }
+  }
+  return true;
+}
+
+}  // namespace mfla

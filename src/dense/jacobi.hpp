@@ -1,0 +1,77 @@
+// Cyclic Jacobi eigenvalue algorithm for dense symmetric matrices.
+//
+// Serves as an independent oracle in the test suite (it shares no code with
+// the Hessenberg/Francis path) and as a robust fallback EVD for small
+// symmetric systems.
+#pragma once
+
+#include <cstddef>
+
+#include "arith/traits.hpp"
+#include "dense/matrix.hpp"
+
+namespace mfla {
+
+/// In place: a (symmetric) becomes ~diagonal, v accumulates the
+/// eigenvectors (columns). Returns the number of sweeps used, or -1 if the
+/// iteration failed to converge / produced non-finite values.
+template <typename T>
+int jacobi_eigen(DenseMatrix<T>& a, DenseMatrix<T>& v, int max_sweeps = 30) {
+  const std::size_t n = a.rows();
+  v = DenseMatrix<T>::identity(n);
+  if (n < 2) return 0;
+  const T eps = NumTraits<T>::from_double(NumTraits<T>::epsilon());
+
+  for (int sweep = 1; sweep <= max_sweeps; ++sweep) {
+    T off(0);
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += abs(a(p, q));
+    if (!is_number(off)) return -1;
+    T diag(0);
+    for (std::size_t p = 0; p < n; ++p) diag += abs(a(p, p));
+    if (off <= eps * (diag + off)) return sweep;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const T apq = a(p, q);
+        if (apq == T(0)) continue;
+        const T app = a(p, p), aqq = a(q, q);
+        // Rotation angle: theta = (aqq - app) / (2 apq).
+        const T theta = (aqq - app) / (T(2) * apq);
+        T t;
+        const T abs_theta = abs(theta);
+        if (abs_theta > T(1e7)) {
+          t = T(1) / (T(2) * theta);
+        } else {
+          t = T(1) / (abs_theta + sqrt(theta * theta + T(1)));
+          if (theta < T(0)) t = -t;
+        }
+        const T c = T(1) / sqrt(t * t + T(1));
+        const T s = t * c;
+        if (!is_number(s) || !is_number(c)) return -1;
+        // A := J^T A J with J the (p,q) rotation.
+        for (std::size_t i = 0; i < n; ++i) {
+          const T aip = a(i, p), aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const T apj = a(p, j), aqj = a(q, j);
+          a(p, j) = c * apj - s * aqj;
+          a(q, j) = s * apj + c * aqj;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const T vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+        // Clean symmetric off-diagonal pair.
+        a(p, q) = T(0);
+        a(q, p) = T(0);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace mfla

@@ -1,0 +1,73 @@
+// Column-major dense matrix, templated over every scalar in the study.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mfla {
+
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, T(0)) {}
+
+  [[nodiscard]] static DenseMatrix identity(std::size_t n) {
+    DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T(1);
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  T& operator()(std::size_t i, std::size_t j) noexcept {
+    assert(i < rows_ && j < cols_);
+    return data_[j * rows_ + i];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const noexcept {
+    assert(i < rows_ && j < cols_);
+    return data_[j * rows_ + i];
+  }
+
+  [[nodiscard]] T* col(std::size_t j) noexcept { return data_.data() + j * rows_; }
+  [[nodiscard]] const T* col(std::size_t j) const noexcept { return data_.data() + j * rows_; }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Copy of the leading rows x cols block.
+  [[nodiscard]] DenseMatrix top_left(std::size_t r, std::size_t c) const {
+    assert(r <= rows_ && c <= cols_);
+    DenseMatrix out(r, c);
+    for (std::size_t j = 0; j < c; ++j)
+      for (std::size_t i = 0; i < r; ++i) out(i, j) = (*this)(i, j);
+    return out;
+  }
+
+  [[nodiscard]] DenseMatrix transposed() const {
+    DenseMatrix out(cols_, rows_);
+    for (std::size_t j = 0; j < cols_; ++j)
+      for (std::size_t i = 0; i < rows_; ++i) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  /// Convert element-wise through a callable (e.g. format conversion).
+  template <typename U, typename Fn>
+  [[nodiscard]] DenseMatrix<U> map(Fn&& fn) const {
+    DenseMatrix<U> out(rows_, cols_);
+    for (std::size_t j = 0; j < cols_; ++j)
+      for (std::size_t i = 0; i < rows_; ++i) out(i, j) = fn((*this)(i, j));
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace mfla

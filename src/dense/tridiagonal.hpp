@@ -1,0 +1,88 @@
+// Symmetric tridiagonal eigensolver: implicit QL with Wilkinson shifts
+// (the classic tqli kernel), with optional eigenvector accumulation.
+//
+// Used by the thick-restart Lanczos solver for its first (purely
+// tridiagonal) cycle, and available as a standalone kernel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arith/traits.hpp"
+#include "dense/matrix.hpp"
+
+namespace mfla {
+
+/// Eigen-decomposition of the symmetric tridiagonal matrix with diagonal d
+/// (length n) and subdiagonal e (length n-1): on return d holds the
+/// eigenvalues (unsorted) and z (pre-initialized, typically identity or a
+/// basis to rotate) is multiplied by the eigenvector matrix.
+/// Returns false if the QL iteration fails to converge or hits non-finite
+/// values (possible in the low-precision formats).
+template <typename T>
+bool tridiagonal_ql(std::vector<T>& d, std::vector<T>& e, DenseMatrix<T>& z,
+                    int max_iter_per_eig = 40) {
+  const std::size_t n = d.size();
+  if (n == 0) return true;
+  if (e.size() + 1 != n && !(n == 1 && e.empty())) return false;
+  // Classic tqli scratch convention: e padded to length n (e[n-1] unused).
+  e.resize(n, T(0));
+  const T eps = NumTraits<T>::from_double(NumTraits<T>::epsilon());
+  const T one(1), two(2);
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      // Find a negligible subdiagonal element.
+      for (m = l; m + 1 < n; ++m) {
+        const T dd = abs(d[m]) + abs(d[m + 1]);
+        if (!(abs(e[m]) > eps * dd)) break;  // catches NaN too
+      }
+      if (m == l) break;
+      if (++iter > max_iter_per_eig) return false;
+      // Wilkinson shift.
+      T g = (d[l + 1] - d[l]) / (two * e[l]);
+      T r = sqrt(g * g + one);
+      if (!is_number(r)) return false;
+      const T gsign = (g >= T(0)) ? abs(r) : -abs(r);
+      g = d[m] - d[l] + e[l] / (g + gsign);
+      T s(1), c(1), p(0);
+      bool underflow_break = false;
+      for (std::size_t i = m; i-- > l;) {
+        T f = s * e[i];
+        const T b = c * e[i];
+        r = sqrt(f * f + g * g);
+        e[i + 1] = r;
+        if (r == T(0)) {
+          d[i + 1] -= p;
+          e[m] = T(0);
+          underflow_break = true;
+          break;
+        }
+        if (!is_number(r)) return false;
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + two * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < z.rows(); ++k) {
+          f = z(k, i + 1);
+          z(k, i + 1) = s * z(k, i) + c * f;
+          z(k, i) = c * z(k, i) - s * f;
+        }
+      }
+      if (underflow_break) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = T(0);
+    } while (m != l);
+  }
+  e.resize(n > 0 ? n - 1 : 0);
+  return true;
+}
+
+}  // namespace mfla

@@ -1,0 +1,276 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace mfla {
+
+namespace {
+
+/// Build a symmetric adjacency from an undirected edge set.
+CooMatrix from_edges(std::uint32_t n, const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  CooMatrix a(n, n);
+  a.reserve(2 * edges.size());
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    a.add(u, v, 1.0);
+    a.add(v, u, 1.0);
+  }
+  a.compress();
+  return a;
+}
+
+}  // namespace
+
+CooMatrix erdos_renyi(std::uint32_t n, double p, Rng& rng) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() < p) edges.emplace_back(i, j);
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CooMatrix barabasi_albert(std::uint32_t n, std::uint32_t m, Rng& rng) {
+  if (m < 1) m = 1;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  // Degree-proportional sampling via the repeated-endpoints trick.
+  std::vector<std::uint32_t> endpoints;
+  const std::uint32_t m0 = m + 1;
+  for (std::uint32_t i = 0; i < m0 && i + 1 < n; ++i) {  // initial clique
+    for (std::uint32_t j = i + 1; j < m0; ++j) {
+      edges.emplace_back(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  for (std::uint32_t v = m0; v < n; ++v) {
+    std::set<std::uint32_t> targets;
+    std::uint32_t guard = 0;
+    while (targets.size() < m && guard++ < 16 * m) {
+      const std::uint32_t t = endpoints[rng.uniform_index(endpoints.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (const std::uint32_t t : targets) {
+      edges.emplace_back(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CooMatrix watts_strogatz(std::uint32_t n, std::uint32_t k, double beta, Rng& rng) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edge_set;
+  auto norm = [](std::uint32_t a, std::uint32_t b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t d = 1; d <= k; ++d) {
+      const std::uint32_t j = (i + d) % n;
+      if (rng.uniform() < beta) {
+        // Rewire to a random non-self target.
+        std::uint32_t t = static_cast<std::uint32_t>(rng.uniform_index(n));
+        std::uint32_t guard = 0;
+        while ((t == i || edge_set.count(norm(i, t)) != 0) && guard++ < 32) {
+          t = static_cast<std::uint32_t>(rng.uniform_index(n));
+        }
+        if (t != i) edge_set.insert(norm(i, t));
+      } else {
+        edge_set.insert(norm(i, j));
+      }
+    }
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges(edge_set.begin(), edge_set.end());
+  return from_edges(n, edges);
+}
+
+CooMatrix duplication_divergence(std::uint32_t n, double retain, Rng& rng) {
+  // Start from a small seed; each new vertex copies a random template
+  // vertex, keeps each copied edge with probability `retain`, and always
+  // links back to the template with probability 0.5.
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  auto connect = [&adj](std::uint32_t a, std::uint32_t b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  connect(0, 1);
+  connect(1, 2);
+  connect(0, 2);
+  for (std::uint32_t v = 3; v < n; ++v) {
+    const auto tmpl = static_cast<std::uint32_t>(rng.uniform_index(v));
+    bool attached = false;
+    for (const std::uint32_t nb : std::vector<std::uint32_t>(adj[tmpl])) {
+      if (rng.uniform() < retain) {
+        connect(v, nb);
+        attached = true;
+      }
+    }
+    if (rng.uniform() < 0.5 || !attached) connect(v, tmpl);
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const std::uint32_t v : adj[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CooMatrix grid_2d(std::uint32_t rows, std::uint32_t cols, double perturb, Rng& rng) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  const std::uint32_t n = rows * cols;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols && rng.uniform() >= perturb) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows && rng.uniform() >= perturb) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  // A few long-range shortcuts (bridges/highways).
+  const auto shortcuts = static_cast<std::uint32_t>(perturb * n);
+  for (std::uint32_t s = 0; s < shortcuts; ++s) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform_index(n));
+    const auto v = static_cast<std::uint32_t>(rng.uniform_index(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return from_edges(n, edges);
+}
+
+CooMatrix random_geometric(std::uint32_t n, double radius, Rng& rng) {
+  std::vector<double> x(n), y(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  const double r2 = radius * radius;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j], dy = y[i] - y[j];
+      if (dx * dx + dy * dy <= r2) edges.emplace_back(i, j);
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CooMatrix stochastic_block(std::uint32_t n, std::uint32_t blocks, double p_in, double p_out,
+                           Rng& rng) {
+  if (blocks < 1) blocks = 1;
+  std::vector<std::uint32_t> community(n);
+  for (std::uint32_t i = 0; i < n; ++i) community[i] = i % blocks;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      const double p = (community[i] == community[j]) ? p_in : p_out;
+      if (rng.uniform() < p) edges.emplace_back(i, j);
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CooMatrix star(std::uint32_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return from_edges(n, edges);
+}
+
+CooMatrix complete(std::uint32_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return from_edges(n, edges);
+}
+
+CooMatrix complete_bipartite(std::uint32_t a, std::uint32_t b) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < a; ++i)
+    for (std::uint32_t j = 0; j < b; ++j) edges.emplace_back(i, a + j);
+  return from_edges(a + b, edges);
+}
+
+CooMatrix path(std::uint32_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return from_edges(n, edges);
+}
+
+CooMatrix ring_of_cliques(std::uint32_t c, std::uint32_t s) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t b = 0; b < c; ++b) {
+    const std::uint32_t base = b * s;
+    for (std::uint32_t i = 0; i < s; ++i)
+      for (std::uint32_t j = i + 1; j < s; ++j) edges.emplace_back(base + i, base + j);
+    const std::uint32_t next = ((b + 1) % c) * s;
+    edges.emplace_back(base, next);
+  }
+  return from_edges(c * s, edges);
+}
+
+CooMatrix binary_tree(std::uint32_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 1; i < n; ++i) edges.emplace_back((i - 1) / 2, i);
+  return from_edges(n, edges);
+}
+
+CooMatrix disjoint_union(const CooMatrix& a, const CooMatrix& b) {
+  CooMatrix u(a.rows() + b.rows(), a.cols() + b.cols());
+  u.reserve(a.nnz() + b.nnz());
+  for (const auto& t : a.triplets()) u.add(t.row, t.col, t.value);
+  const auto ro = static_cast<std::uint32_t>(a.rows());
+  const auto co = static_cast<std::uint32_t>(a.cols());
+  for (const auto& t : b.triplets()) u.add(t.row + ro, t.col + co, t.value);
+  u.compress();
+  return u;
+}
+
+CooMatrix rmat(std::uint32_t scale, std::uint32_t edges_per_vertex, double a, double b, double c,
+               Rng& rng) {
+  const std::uint32_t n = 1u << scale;
+  const std::uint64_t target = static_cast<std::uint64_t>(edges_per_vertex) * n;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(target);
+  for (std::uint64_t k = 0; k < target; ++k) {
+    std::uint32_t u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return from_edges(n, edges);
+}
+
+CooMatrix add_hubs(const CooMatrix& g, std::uint32_t hubs, std::uint32_t degree, Rng& rng) {
+  const auto n0 = static_cast<std::uint32_t>(g.rows());
+  CooMatrix out(n0 + hubs, n0 + hubs);
+  out.reserve(g.nnz() + 2ull * hubs * degree);
+  for (const auto& t : g.triplets()) out.add(t.row, t.col, t.value);
+  for (std::uint32_t h = 0; h < hubs; ++h) {
+    const std::uint32_t hub = n0 + h;
+    for (std::uint32_t d = 0; d < degree; ++d) {
+      const auto t = static_cast<std::uint32_t>(rng.uniform_index(n0 + h));
+      out.add(hub, t, 1.0);
+      out.add(t, hub, 1.0);
+    }
+  }
+  out.compress();
+  return out;
+}
+
+}  // namespace mfla

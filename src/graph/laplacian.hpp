@@ -1,0 +1,85 @@
+// Graph preprocessing pipeline (paper §2.1):
+//   1. squarify      — crop a removable zero block, or pad, so the
+//                      adjacency matrix is square;
+//   2. symmetrize    — average symmetrization A ↦ (A + Aᵀ)/2;
+//   3. normalized Laplacian (Eq. 1):
+//        L_ii = 1                        if deg(i) > 0
+//        L_ij = -A_ij / sqrt(deg_i deg_j) if i != j and A_ij != 0
+//        L_ij = 0                         otherwise,
+//      with deg(i) = Σ_j A_ij.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/coo.hpp"
+
+namespace mfla {
+
+/// Make the adjacency matrix square. If all entries beyond the smaller
+/// dimension are zero the zero block is cropped; otherwise the matrix is
+/// padded with a zero block (paper §2.1).
+[[nodiscard]] inline CooMatrix squarify(const CooMatrix& a) {
+  if (a.rows() == a.cols()) return a;
+  const std::size_t small = a.rows() < a.cols() ? a.rows() : a.cols();
+  bool croppable = true;
+  for (const auto& t : a.triplets()) {
+    if (t.row >= small || t.col >= small) {
+      croppable = false;
+      break;
+    }
+  }
+  CooMatrix out = a;
+  if (croppable) {
+    out.set_shape(small, small);
+  } else {
+    const std::size_t big = a.rows() > a.cols() ? a.rows() : a.cols();
+    out.set_shape(big, big);
+  }
+  return out;
+}
+
+/// Average symmetrization A ↦ (A + Aᵀ)/2.
+[[nodiscard]] inline CooMatrix symmetrize_average(const CooMatrix& a) {
+  CooMatrix s(a.rows(), a.cols());
+  s.reserve(2 * a.nnz());
+  for (const auto& t : a.triplets()) {
+    s.add(t.row, t.col, 0.5 * t.value);
+    s.add(t.col, t.row, 0.5 * t.value);
+  }
+  s.compress();
+  return s;
+}
+
+/// Weighted vertex degrees deg(i) = Σ_j A_ij of a symmetric adjacency.
+[[nodiscard]] inline std::vector<double> vertex_degrees(const CooMatrix& a) {
+  std::vector<double> deg(a.rows(), 0.0);
+  for (const auto& t : a.triplets()) deg[t.row] += t.value;
+  return deg;
+}
+
+/// Symmetrically normalized Laplacian of a symmetric adjacency matrix.
+[[nodiscard]] inline CooMatrix normalized_laplacian(const CooMatrix& adj) {
+  const std::vector<double> deg = vertex_degrees(adj);
+  CooMatrix l(adj.rows(), adj.cols());
+  l.reserve(adj.nnz() + adj.rows());
+  for (std::size_t i = 0; i < adj.rows(); ++i) {
+    if (deg[i] > 0.0) l.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i), 1.0);
+  }
+  for (const auto& t : adj.triplets()) {
+    if (t.row == t.col) continue;  // self-loops only contribute to degrees
+    const double dd = deg[t.row] * deg[t.col];
+    if (dd <= 0.0) continue;
+    l.add(t.row, t.col, -t.value / std::sqrt(dd));
+  }
+  l.compress();
+  return l;
+}
+
+/// Full pipeline: raw (possibly rectangular, directed) adjacency to the
+/// symmetrized normalized Laplacian.
+[[nodiscard]] inline CooMatrix graph_laplacian_pipeline(const CooMatrix& raw) {
+  return normalized_laplacian(symmetrize_average(squarify(raw)));
+}
+
+}  // namespace mfla

@@ -1,0 +1,92 @@
+// Coordinate-format sparse matrix (assembly format).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mfla {
+
+struct Triplet {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] const std::vector<Triplet>& triplets() const noexcept { return triplets_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return triplets_.size(); }
+
+  void reserve(std::size_t n) { triplets_.reserve(n); }
+
+  void add(std::uint32_t r, std::uint32_t c, double v) {
+    if (v == 0.0) return;
+    triplets_.push_back({r, c, v});
+    if (r >= rows_) rows_ = r + 1;
+    if (c >= cols_) cols_ = c + 1;
+  }
+
+  void set_shape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  /// Sort by (row, col) and sum duplicate entries in place.
+  void compress() {
+    std::sort(triplets_.begin(), triplets_.end(), [](const Triplet& a, const Triplet& b) {
+      return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < triplets_.size();) {
+      Triplet t = triplets_[i];
+      std::size_t j = i + 1;
+      while (j < triplets_.size() && triplets_[j].row == t.row && triplets_[j].col == t.col) {
+        t.value += triplets_[j].value;
+        ++j;
+      }
+      if (t.value != 0.0) triplets_[out++] = t;
+      i = j;
+    }
+    triplets_.resize(out);
+  }
+
+  [[nodiscard]] CooMatrix transposed() const {
+    CooMatrix t(cols_, rows_);
+    t.reserve(triplets_.size());
+    for (const auto& e : triplets_) t.add(e.col, e.row, e.value);
+    return t;
+  }
+
+  /// Is the (compressed) matrix symmetric to within `tol`?
+  [[nodiscard]] bool is_symmetric(double tol = 0.0) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<Triplet> triplets_;
+};
+
+inline bool CooMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  CooMatrix a = *this;
+  a.compress();
+  CooMatrix b = transposed();
+  b.compress();
+  const auto& ta = a.triplets();
+  const auto& tb = b.triplets();
+  if (ta.size() != tb.size()) return false;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    if (ta[i].row != tb[i].row || ta[i].col != tb[i].col) return false;
+    const double d = ta[i].value - tb[i].value;
+    if (d > tol || d < -tol) return false;
+  }
+  return true;
+}
+
+}  // namespace mfla

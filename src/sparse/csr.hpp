@@ -1,0 +1,102 @@
+// Compressed sparse row matrix, templated over the scalar type.
+//
+// The matvec accumulates in the working format T — this is the central
+// kernel whose low-precision behavior the study measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arith/traits.hpp"
+#include "sparse/coo.hpp"
+
+namespace mfla {
+
+template <typename T>
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  [[nodiscard]] static CsrMatrix from_coo(const CooMatrix& coo) {
+    CooMatrix c = coo;
+    c.compress();
+    CsrMatrix m;
+    m.rows_ = c.rows();
+    m.cols_ = c.cols();
+    m.row_ptr_.assign(m.rows_ + 1, 0);
+    m.col_idx_.reserve(c.nnz());
+    m.values_.reserve(c.nnz());
+    for (const auto& t : c.triplets()) ++m.row_ptr_[t.row + 1];
+    for (std::size_t i = 0; i < m.rows_; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+    for (const auto& t : c.triplets()) {
+      m.col_idx_.push_back(t.col);
+      m.values_.push_back(NumTraits<T>::from_double(t.value));
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& col_idx() const noexcept { return col_idx_; }
+  [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+  [[nodiscard]] std::vector<T>& values() noexcept { return values_; }
+
+  /// y := A x, accumulated in T.
+  void matvec(const T* x, T* y) const noexcept {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      T acc(0);
+      for (std::uint32_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        acc += values_[k] * x[col_idx_[k]];
+      }
+      y[i] = acc;
+    }
+  }
+
+  /// Entry lookup (binary search within the row); 0 if absent.
+  [[nodiscard]] T at(std::size_t i, std::size_t j) const noexcept {
+    for (std::uint32_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (col_idx_[k] == j) return values_[k];
+    }
+    return T(0);
+  }
+
+  /// Convert the value array into another scalar type (same pattern).
+  template <typename U>
+  [[nodiscard]] CsrMatrix<U> convert() const {
+    CsrMatrix<U> m;
+    m.rows_ = rows_;
+    m.cols_ = cols_;
+    m.row_ptr_ = row_ptr_;
+    m.col_idx_ = col_idx_;
+    m.values_.reserve(values_.size());
+    for (const T& v : values_) {
+      m.values_.push_back(NumTraits<U>::from_double(NumTraits<T>::to_double(v)));
+    }
+    return m;
+  }
+
+  template <typename U>
+  friend class CsrMatrix;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::uint32_t> row_ptr_{0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<T> values_;
+};
+
+/// Does any entry of the (double) matrix fall outside the representable
+/// dynamic range of format T (maps to 0, inf or NaN)? This is the paper's
+/// ∞σ pre-check.
+template <typename T>
+[[nodiscard]] bool matrix_exceeds_range(const CsrMatrix<double>& a) {
+  for (const double v : a.values()) {
+    if (conversion_loses_value<T>(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace mfla

@@ -1,0 +1,33 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// Supports the subset the study needs (and the Network Repository emits):
+// object `matrix`, formats `coordinate` and `array`, fields `real`,
+// `integer` and `pattern`, symmetries `general`, `symmetric` and
+// `skew-symmetric`. Symmetric storage is expanded to full storage on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace mfla {
+
+struct MatrixMarketHeader {
+  bool coordinate = true;  // false: array (dense)
+  std::string field = "real";
+  std::string symmetry = "general";
+};
+
+/// Parse a Matrix Market stream into an (expanded, compressed) COO matrix.
+/// Throws std::runtime_error with a line-diagnostic message on bad input.
+[[nodiscard]] CooMatrix read_matrix_market(std::istream& in, MatrixMarketHeader* header = nullptr);
+
+/// Convenience: read from a file path.
+[[nodiscard]] CooMatrix read_matrix_market_file(const std::string& path,
+                                                MatrixMarketHeader* header = nullptr);
+
+/// Write a COO matrix in coordinate/real/general form.
+void write_matrix_market(std::ostream& out, const CooMatrix& m);
+
+}  // namespace mfla

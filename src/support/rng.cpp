@@ -1,0 +1,88 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace mfla {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+Rng::Rng(std::string_view name, std::uint64_t salt) noexcept
+    : Rng(fnv1a(name) ^ (salt * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull)) {}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Rejection-free Lemire reduction is overkill here; modulo bias is
+  // negligible for n << 2^64 and this is not cryptographic.
+  return next_u64() % n;
+}
+
+double Rng::normal() noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  have_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::log_uniform(double lo_exp, double hi_exp) noexcept {
+  return std::pow(10.0, uniform(lo_exp, hi_exp));
+}
+
+std::vector<double> Rng::unit_vector(std::size_t n) noexcept {
+  std::vector<double> v(n);
+  double norm_sq = 0.0;
+  for (auto& x : v) {
+    x = normal();
+    norm_sq += x * x;
+  }
+  const double inv = (norm_sq > 0) ? 1.0 / std::sqrt(norm_sq) : 0.0;
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+}  // namespace mfla

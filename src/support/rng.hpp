@@ -1,0 +1,62 @@
+// Deterministic random number generation for corpora and solvers.
+//
+// Every dataset and every solver start vector is derived from a named seed
+// so that experiments are exactly reproducible run-to-run and across
+// machines (we only rely on our own splitmix/xoshiro implementation, never
+// on std::mt19937 distribution details).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mfla {
+
+/// SplitMix64: seed expander (public-domain construction by Vigna).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+  /// Seed from a human-readable name (matrix name, corpus id, ...).
+  explicit Rng(std::string_view name, std::uint64_t salt = 0) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept;
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Standard normal via Box-Muller.
+  double normal() noexcept;
+  /// log-uniform over [10^lo_exp, 10^hi_exp).
+  double log_uniform(double lo_exp, double hi_exp) noexcept;
+  /// Random unit vector of length n (normalized standard normals).
+  std::vector<double> unit_vector(std::size_t n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// FNV-1a hash of a string, used to derive seeds from names.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
+
+}  // namespace mfla

@@ -1,0 +1,235 @@
+// Tests for the extension modules: tridiagonal QL, R-MAT generator,
+// matrix statistics, raw-results persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/distribution.hpp"
+#include "core/results_io.hpp"
+#include "datasets/stats.hpp"
+#include "dense/jacobi.hpp"
+#include "dense/tridiagonal.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "support/rng.hpp"
+
+namespace mfla {
+namespace {
+
+// ---- Tridiagonal QL ---------------------------------------------------------
+
+TEST(TridiagonalQl, KnownToeplitzSpectrum) {
+  // Tridiag(-1, 2, -1) of size n has eigenvalues 2 - 2 cos(k pi/(n+1)).
+  const std::size_t n = 12;
+  std::vector<double> d(n, 2.0), e(n - 1, -1.0);
+  auto z = DenseMatrix<double>::identity(n);
+  ASSERT_TRUE(tridiagonal_ql(d, e, z));
+  std::sort(d.begin(), d.end());
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double expect = 2.0 - 2.0 * std::cos(static_cast<double>(k) * M_PI /
+                                               static_cast<double>(n + 1));
+    EXPECT_NEAR(d[k - 1], expect, 1e-12);
+  }
+}
+
+TEST(TridiagonalQl, EigenvectorsDiagonalize) {
+  Rng rng(1200);
+  const std::size_t n = 20;
+  std::vector<double> d(n), e(n - 1);
+  for (auto& v : d) v = rng.normal();
+  for (auto& v : e) v = rng.normal();
+  const std::vector<double> d0 = d, e0 = e;
+  auto z = DenseMatrix<double>::identity(n);
+  ASSERT_TRUE(tridiagonal_ql(d, e, z));
+  // T z_j = lambda_j z_j for the original T.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double ti = d0[i] * z(i, j);
+      if (i > 0) ti += e0[i - 1] * z(i - 1, j);
+      if (i + 1 < n) ti += e0[i] * z(i + 1, j);
+      EXPECT_NEAR(ti, d[j] * z(i, j), 1e-10);
+    }
+  }
+  // z orthogonal.
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b <= a; ++b) {
+      double dot = 0;
+      for (std::size_t i = 0; i < n; ++i) dot += z(i, a) * z(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-12);
+    }
+}
+
+TEST(TridiagonalQl, MatchesJacobiOnRandom) {
+  Rng rng(1201);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 5 + 3 * static_cast<std::size_t>(trial);
+    std::vector<double> d(n), e(n - 1);
+    for (auto& v : d) v = rng.normal();
+    for (auto& v : e) v = rng.normal();
+    DenseMatrix<double> full(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      full(i, i) = d[i];
+      if (i + 1 < n) {
+        full(i, i + 1) = e[i];
+        full(i + 1, i) = e[i];
+      }
+    }
+    auto z = DenseMatrix<double>::identity(n);
+    ASSERT_TRUE(tridiagonal_ql(d, e, z));
+    DenseMatrix<double> vj;
+    ASSERT_GT(jacobi_eigen(full, vj), 0);
+    std::vector<double> ej(n);
+    for (std::size_t i = 0; i < n; ++i) ej[i] = full(i, i);
+    std::sort(d.begin(), d.end());
+    std::sort(ej.begin(), ej.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(d[i], ej[i], 1e-10);
+  }
+}
+
+TEST(TridiagonalQl, TrivialSizes) {
+  std::vector<double> d{3.5};
+  std::vector<double> e;
+  auto z = DenseMatrix<double>::identity(1);
+  EXPECT_TRUE(tridiagonal_ql(d, e, z));
+  EXPECT_DOUBLE_EQ(d[0], 3.5);
+  std::vector<double> d0;
+  std::vector<double> e0;
+  DenseMatrix<double> z0(0, 0);
+  EXPECT_TRUE(tridiagonal_ql(d0, e0, z0));
+}
+
+// ---- R-MAT -------------------------------------------------------------------
+
+TEST(Rmat, ShapeAndSymmetry) {
+  Rng rng(1202);
+  const CooMatrix g = rmat(7, 6, 0.57, 0.19, 0.19, rng);
+  EXPECT_EQ(g.rows(), 128u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Rmat, SkewedDegreesVersusUniform) {
+  Rng rng(1203);
+  const CooMatrix skewed = rmat(8, 8, 0.7, 0.1, 0.1, rng);
+  const CooMatrix uniform = rmat(8, 8, 0.25, 0.25, 0.25, rng);
+  auto max_degree = [](const CooMatrix& g) {
+    double best = 0;
+    for (const double d : vertex_degrees(g)) best = std::max(best, d);
+    return best;
+  };
+  EXPECT_GT(max_degree(skewed), max_degree(uniform));
+}
+
+// ---- Matrix statistics ----------------------------------------------------------
+
+TEST(MatrixStats, EntryStats) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 4.0);
+  coo.add(1, 1, -0.5);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 0, 2.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto s = matrix_entry_stats(a);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_EQ(s.nnz, 4u);
+  EXPECT_DOUBLE_EQ(s.max_abs, 4.0);
+  EXPECT_DOUBLE_EQ(s.min_abs, 0.5);
+  EXPECT_DOUBLE_EQ(s.dynamic_range, 8.0);
+  EXPECT_DOUBLE_EQ(s.inf_norm, 6.0);
+  EXPECT_NEAR(s.frobenius, std::sqrt(16 + 0.25 + 4 + 4), 1e-12);
+}
+
+TEST(MatrixStats, SpectralConditionOfKnownMatrix) {
+  // diag(1..8): condition = 8.
+  CooMatrix coo(8, 8);
+  for (std::uint32_t i = 0; i < 8; ++i) coo.add(i, i, static_cast<double>(i + 1));
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto s = matrix_spectral_stats(a, 200);
+  ASSERT_TRUE(std::isfinite(s.lambda_max));
+  ASSERT_TRUE(std::isfinite(s.lambda_min_mag));
+  EXPECT_NEAR(s.lambda_max, 8.0, 1e-6);
+  EXPECT_NEAR(s.lambda_min_mag, 1.0, 1e-6);
+  EXPECT_NEAR(s.condition_estimate, 8.0, 1e-5);
+}
+
+// ---- Results persistence ---------------------------------------------------------
+
+std::vector<MatrixResult> sample_results() {
+  std::vector<MatrixResult> rs(2);
+  rs[0].name = "m1";
+  rs[0].klass = "social";
+  rs[0].category = "soc";
+  rs[0].n = 100;
+  rs[0].nnz = 500;
+  rs[0].reference_ok = true;
+  FormatRun a;
+  a.format = FormatId::float32;
+  a.outcome = RunOutcome::ok;
+  a.eigenvalue_error = {1e-7, 2e-8};
+  a.eigenvector_error = {1e-4, 5e-5};
+  a.mean_similarity = 0.999;
+  a.nconverged = 12;
+  a.restarts = 7;
+  a.matvecs = 123;
+  rs[0].runs.push_back(a);
+  FormatRun b;
+  b.format = FormatId::takum16;
+  b.outcome = RunOutcome::no_convergence;
+  b.restarts = 60;
+  rs[0].runs.push_back(b);
+  rs[1].name = "m2";
+  rs[1].klass = "general";
+  rs[1].category = "band";
+  rs[1].n = 40;
+  rs[1].nnz = 200;
+  rs[1].reference_ok = false;
+  return rs;
+}
+
+TEST(ResultsIo, WriteReadRoundTrip) {
+  const auto rs = sample_results();
+  const std::string path = "test_out/results_roundtrip.csv";
+  write_results_csv(path, rs);
+  const auto back = read_results_csv(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "m1");
+  EXPECT_EQ(back[0].klass, "social");
+  EXPECT_EQ(back[0].n, 100u);
+  EXPECT_TRUE(back[0].reference_ok);
+  ASSERT_EQ(back[0].runs.size(), 2u);
+  EXPECT_EQ(back[0].runs[0].format, FormatId::float32);
+  EXPECT_EQ(back[0].runs[0].outcome, RunOutcome::ok);
+  EXPECT_DOUBLE_EQ(back[0].runs[0].eigenvalue_error.relative, 2e-8);
+  EXPECT_DOUBLE_EQ(back[0].runs[0].mean_similarity, 0.999);
+  EXPECT_EQ(back[0].runs[0].matvecs, 123u);
+  EXPECT_EQ(back[0].runs[1].outcome, RunOutcome::no_convergence);
+  EXPECT_FALSE(back[1].reference_ok);
+  std::remove(path.c_str());
+}
+
+TEST(ResultsIo, OutcomeNames) {
+  EXPECT_STREQ(outcome_name(RunOutcome::ok), "ok");
+  EXPECT_STREQ(outcome_name(RunOutcome::no_convergence), "omega");
+  EXPECT_STREQ(outcome_name(RunOutcome::range_exceeded), "sigma");
+  EXPECT_EQ(outcome_from_name("sigma"), RunOutcome::range_exceeded);
+  EXPECT_THROW(outcome_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(ResultsIo, DistributionsSurviveRoundTrip) {
+  const auto rs = sample_results();
+  const std::string path = "test_out/results_dist.csv";
+  write_results_csv(path, rs);
+  const auto back = read_results_csv(path);
+  const auto d_orig = build_distribution(rs, FormatId::float32, false);
+  const auto d_back = build_distribution(back, FormatId::float32, false);
+  EXPECT_EQ(d_orig.n_total, d_back.n_total);
+  EXPECT_EQ(d_orig.sorted_log10, d_back.sorted_log10);
+  std::remove(path.c_str());
+}
+
+TEST(ResultsIo, MissingFileThrows) {
+  EXPECT_THROW(read_results_csv("definitely/not/here.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mfla

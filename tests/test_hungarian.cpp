@@ -1,0 +1,112 @@
+// Hungarian algorithm tests: known instances, brute-force cross-check,
+// rectangular problems.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/hungarian.hpp"
+#include "support/rng.hpp"
+
+namespace mfla {
+namespace {
+
+double brute_force_min(const DenseMatrix<double>& cost) {
+  const std::size_t n = cost.rows(), m = cost.cols();
+  std::vector<int> cols(m);
+  std::iota(cols.begin(), cols.end(), 0);
+  double best = 1e300;
+  do {
+    double c = 0;
+    for (std::size_t i = 0; i < n; ++i) c += cost(i, static_cast<std::size_t>(cols[i]));
+    best = std::min(best, c);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(Hungarian, KnownThreeByThree) {
+  DenseMatrix<double> c(3, 3);
+  const double vals[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) c(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = vals[i][j];
+  const auto a = hungarian_assignment(c);
+  EXPECT_DOUBLE_EQ(assignment_cost(c, a), 5.0);  // 1 + 2 + 2
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_EQ(a[2], 2);
+}
+
+TEST(Hungarian, IdentityOnDiagonalCosts) {
+  DenseMatrix<double> c(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) c(i, j) = (i == j) ? 0.0 : 10.0;
+  const auto a = hungarian_assignment(c);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a[i], static_cast<int>(i));
+}
+
+TEST(Hungarian, PermutationMatrixRecovered) {
+  // Cost = 1 - P for permutation P: assignment must recover P.
+  const int perm[5] = {3, 0, 4, 1, 2};
+  DenseMatrix<double> c(5, 5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      c(i, j) = (static_cast<int>(j) == perm[i]) ? -1.0 : 0.0;
+  const auto a = hungarian_assignment(c);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(a[i], perm[i]);
+}
+
+class HungarianRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandom, MatchesBruteForce) {
+  const int n = GetParam();
+  Rng rng(700 + static_cast<unsigned>(n));
+  for (int trial = 0; trial < 30; ++trial) {
+    DenseMatrix<double> c(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i)
+      for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) c(i, j) = rng.uniform(-5, 5);
+    const auto a = hungarian_assignment(c);
+    // Valid permutation.
+    std::vector<bool> used(static_cast<std::size_t>(n), false);
+    for (const int j : a) {
+      ASSERT_GE(j, 0);
+      ASSERT_LT(j, n);
+      EXPECT_FALSE(used[static_cast<std::size_t>(j)]);
+      used[static_cast<std::size_t>(j)] = true;
+    }
+    EXPECT_NEAR(assignment_cost(c, a), brute_force_min(c), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianRandom, ::testing::Values(2, 3, 4, 5, 6, 7));
+
+TEST(Hungarian, RectangularWide) {
+  // 2 rows, 4 columns: picks the two cheapest disjoint columns.
+  DenseMatrix<double> c(2, 4);
+  const double vals[2][4] = {{9, 1, 9, 9}, {9, 0.5, 9, 0.75}};
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 4; ++j) c(i, j) = vals[i][j];
+  const auto a = hungarian_assignment(c);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 3);
+}
+
+TEST(Hungarian, RowsExceedColumnsThrows) {
+  DenseMatrix<double> c(3, 2);
+  EXPECT_THROW(hungarian_assignment(c), std::invalid_argument);
+}
+
+TEST(Hungarian, DegenerateTies) {
+  DenseMatrix<double> c(3, 3);
+  // All equal: any permutation is optimal; must still be a permutation.
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) c(i, j) = 1.0;
+  const auto a = hungarian_assignment(c);
+  std::vector<bool> used(3, false);
+  for (const int j : a) used[static_cast<std::size_t>(j)] = true;
+  EXPECT_TRUE(used[0] && used[1] && used[2]);
+  EXPECT_DOUBLE_EQ(assignment_cost(c, a), 3.0);
+}
+
+}  // namespace
+}  // namespace mfla

@@ -1,0 +1,323 @@
+// partialschur (IRAM with Krylov-Schur restarts) integration tests:
+// correctness against dense oracles, ordering modes, invariant subspaces,
+// eigenvalue multiplicities, restart behavior, low-precision operation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "arith/posit.hpp"
+#include "arith/takum.hpp"
+#include "core/krylov_schur.hpp"
+#include "dense/jacobi.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace mfla {
+namespace {
+
+CsrMatrix<double> diagonal_matrix(const std::vector<double>& d) {
+  CooMatrix coo(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    coo.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i), d[i]);
+  return CsrMatrix<double>::from_coo(coo);
+}
+
+CsrMatrix<double> random_sparse_symmetric(std::size_t n, double density, Rng& rng) {
+  CooMatrix coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i), rng.normal());
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() < density) {
+        const double v = rng.normal();
+        coo.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), v);
+        coo.add(static_cast<std::uint32_t>(j), static_cast<std::uint32_t>(i), v);
+      }
+    }
+  }
+  return CsrMatrix<double>::from_coo(coo);
+}
+
+std::vector<double> dense_spectrum(const CsrMatrix<double>& a) {
+  const std::size_t n = a.rows();
+  DenseMatrix<double> d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = a.at(i, j);
+  DenseMatrix<double> v;
+  EXPECT_GT(jacobi_eigen(d, v, 60), 0);
+  std::vector<double> e(n);
+  for (std::size_t i = 0; i < n; ++i) e[i] = d(i, i);
+  return e;
+}
+
+TEST(PartialSchur, DiagonalMatrixExact) {
+  std::vector<double> d(50);
+  for (std::size_t i = 0; i < 50; ++i) d[i] = static_cast<double>(i) - 20.0;
+  const auto a = diagonal_matrix(d);
+  PartialSchurOptions opts;
+  opts.nev = 5;
+  opts.tolerance = 1e-12;
+  const auto r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged) << r.failure;
+  // Largest magnitude: 29, -20, 28, -19, 27 -> magnitudes 29, 28, 27, 20, 19.
+  std::vector<double> mags;
+  for (std::size_t i = 0; i < 5; ++i) mags.push_back(std::abs(r.eig_re[i]));
+  std::vector<double> sorted = mags;
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_EQ(mags, sorted);
+  EXPECT_NEAR(mags[0], 29.0, 1e-10);
+  EXPECT_NEAR(mags[1], 28.0, 1e-10);
+}
+
+class PartialSchurRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialSchurRandom, MatchesDenseOracle) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(900 + GetParam());
+  const auto a = random_sparse_symmetric(n, 0.1, rng);
+  PartialSchurOptions opts;
+  opts.nev = 6;
+  opts.tolerance = 1e-10;
+  opts.max_restarts = 200;
+  const auto r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged) << r.failure;
+  auto oracle = dense_spectrum(a);
+  std::sort(oracle.begin(), oracle.end(),
+            [](double x, double y) { return std::abs(x) > std::abs(y); });
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(r.eig_re[i], oracle[i], 1e-7 * std::abs(oracle[i]) + 1e-8) << i;
+    EXPECT_NEAR(r.eig_im[i], 0.0, 1e-10);
+  }
+  // Residual check: ||A q - lambda q|| small for the leading pair.
+  std::vector<double> q0(n), aq(n);
+  for (std::size_t i = 0; i < n; ++i) q0[i] = r.q(i, 0);
+  a.matvec(q0.data(), aq.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(aq[i], r.eig_re[0] * q0[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartialSchurRandom, ::testing::Values(30, 60, 120, 250));
+
+TEST(PartialSchur, OrderingModes) {
+  std::vector<double> d{-9, -5, -1, 0.5, 2, 7, 12};
+  const auto a = diagonal_matrix(d);
+  PartialSchurOptions opts;
+  opts.nev = 2;
+  opts.mindim = 4;
+  opts.maxdim = 7;
+  opts.tolerance = 1e-12;
+
+  opts.which = Which::largest_magnitude;
+  auto r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eig_re[0], 12.0, 1e-9);
+  EXPECT_NEAR(r.eig_re[1], -9.0, 1e-9);
+
+  opts.which = Which::largest_real;
+  r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eig_re[0], 12.0, 1e-9);
+  EXPECT_NEAR(r.eig_re[1], 7.0, 1e-9);
+
+  opts.which = Which::smallest_real;
+  r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eig_re[0], -9.0, 1e-9);
+  EXPECT_NEAR(r.eig_re[1], -5.0, 1e-9);
+
+  opts.which = Which::smallest_magnitude;
+  r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(std::abs(r.eig_re[0]), 0.5, 1e-9);
+}
+
+TEST(PartialSchur, SchurVectorsOrthonormalAndInvariant) {
+  Rng rng(901);
+  const auto a = random_sparse_symmetric(80, 0.1, rng);
+  PartialSchurOptions opts;
+  opts.nev = 8;
+  opts.tolerance = 1e-11;
+  const auto r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged);
+  const std::size_t k = r.q.cols();
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t q2 = 0; q2 <= p; ++q2) {
+      double d = 0;
+      for (std::size_t i = 0; i < 80; ++i) d += r.q(i, p) * r.q(i, q2);
+      EXPECT_NEAR(d, p == q2 ? 1.0 : 0.0, 1e-9);
+    }
+  // A Q = Q R within tolerance.
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> qj(80), aq(80), qr(80, 0.0);
+    for (std::size_t i = 0; i < 80; ++i) qj[i] = r.q(i, j);
+    a.matvec(qj.data(), aq.data());
+    for (std::size_t l = 0; l < k; ++l)
+      for (std::size_t i = 0; i < 80; ++i) qr[i] += r.q(i, l) * r.r(l, j);
+    for (std::size_t i = 0; i < 80; ++i) EXPECT_NEAR(aq[i], qr[i], 1e-7);
+  }
+  // Symmetric input: R essentially diagonal (paper §2.2).
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = j + 1; i < k; ++i) EXPECT_NEAR(r.r(i, j), 0.0, 1e-8);
+}
+
+TEST(PartialSchur, MultiplicitiesViaInvariantSubspaceRestart) {
+  // Eigenvalue 2 with multiplicity 5 plus a low-dimensional tail: once the
+  // Krylov space exhausts the 11 distinct eigenvalues (beta -> 0), the
+  // random-restart deflation must inject new directions and find every
+  // copy. (With a high-dimensional tail a Krylov method sees only one copy
+  // per invariant-subspace exhaustion — standard ARPACK behavior.)
+  std::vector<double> d(40, 0.0);
+  for (std::size_t i = 0; i < 5; ++i) d[i] = 2.0;
+  for (std::size_t i = 5; i < 40; ++i) d[i] = 0.2 + 0.05 * static_cast<double>(i % 10);
+  const auto a = diagonal_matrix(d);
+  PartialSchurOptions opts;
+  opts.nev = 6;
+  opts.tolerance = 1e-10;
+  opts.max_restarts = 300;
+  const auto r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged) << r.failure;
+  int twos = 0;
+  for (std::size_t i = 0; i < 6; ++i) twos += (std::abs(r.eig_re[i] - 2.0) < 1e-8);
+  EXPECT_EQ(twos, 5);
+  EXPECT_NEAR(r.eig_re[5], 0.65, 1e-8);  // largest tail value
+}
+
+TEST(PartialSchur, GraphLaplacianSpectrumBounds) {
+  Rng rng(902);
+  const CooMatrix lap = graph_laplacian_pipeline(erdos_renyi(150, 0.05, rng));
+  const auto a = CsrMatrix<double>::from_coo(lap);
+  PartialSchurOptions opts;
+  opts.nev = 10;
+  opts.tolerance = 1e-10;
+  const auto r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_GE(r.eig_re[i], -1e-9);
+    EXPECT_LE(r.eig_re[i], 2.0 + 1e-9);
+  }
+}
+
+TEST(PartialSchur, SmallMatrixFullSpace) {
+  // n barely above nev: maxdim = n, invariant subspace exhausted.
+  std::vector<double> d{5, 4, 3, 2, 1, 0.5, 0.25, -0.7, 1.5, -2.5, 3.5, 0.1, 0.9, -1.1, 2.2, 4.4};
+  const auto a = diagonal_matrix(d);
+  PartialSchurOptions opts;
+  opts.nev = 12;
+  opts.tolerance = 1e-10;
+  const auto r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged) << r.failure;
+  EXPECT_NEAR(std::abs(r.eig_re[0]), 5.0, 1e-8);
+}
+
+TEST(PartialSchur, NonSymmetricRealEigenvalues) {
+  // Upper triangular (non-symmetric) with distinct real eigenvalues.
+  CooMatrix coo(30, 30);
+  Rng rng(903);
+  for (std::size_t i = 0; i < 30; ++i) {
+    coo.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i),
+            static_cast<double>(i + 1));
+    for (std::size_t j = i + 1; j < std::min<std::size_t>(i + 4, 30); ++j)
+      coo.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), 0.3 * rng.normal());
+  }
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  PartialSchurOptions opts;
+  opts.nev = 4;
+  opts.tolerance = 1e-10;
+  opts.max_restarts = 300;
+  const auto r = partialschur<double>(a, opts);
+  ASSERT_TRUE(r.converged) << r.failure;
+  EXPECT_NEAR(r.eig_re[0], 30.0, 1e-6);
+  EXPECT_NEAR(r.eig_re[1], 29.0, 1e-6);
+}
+
+TEST(PartialSchur, FailureReportedNotThrown) {
+  // Impossible tolerance with a tiny restart budget must fail gracefully.
+  Rng rng(904);
+  const auto a = random_sparse_symmetric(100, 0.05, rng);
+  PartialSchurOptions opts;
+  opts.nev = 10;
+  opts.tolerance = 1e-15;
+  opts.max_restarts = 1;
+  const auto r = partialschur<double>(a, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.failure.empty());
+  EXPECT_LE(r.nconverged, 10u);
+}
+
+TEST(PartialSchur, SharedStartVectorReproducible) {
+  Rng rng(905);
+  const auto a = random_sparse_symmetric(60, 0.1, rng);
+  Rng sv_rng(906);
+  const auto sv = sv_rng.unit_vector(60);
+  PartialSchurOptions opts;
+  opts.nev = 4;
+  opts.tolerance = 1e-10;
+  opts.start_vector = &sv;
+  const auto r1 = partialschur<double>(a, opts);
+  const auto r2 = partialschur<double>(a, opts);
+  ASSERT_TRUE(r1.converged && r2.converged);
+  EXPECT_EQ(r1.matvecs, r2.matvecs);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(r1.eig_re[i], r2.eig_re[i]);
+}
+
+// ---- Low-precision operation ------------------------------------------------------
+
+template <typename T>
+void low_precision_run(double expected_tol) {
+  Rng rng(907);
+  const CooMatrix lap = graph_laplacian_pipeline(stochastic_block(90, 3, 0.3, 0.02, rng));
+  const auto ad = CsrMatrix<double>::from_coo(lap);
+  const auto at = ad.convert<T>();
+  PartialSchurOptions opts;
+  opts.nev = 6;
+  opts.tolerance = NumTraits<T>::default_tolerance();
+  opts.max_restarts = 120;
+  const auto rt = partialschur<T>(at, opts);
+  ASSERT_TRUE(rt.converged) << rt.failure;
+  const auto rd = partialschur<double>(ad, opts);
+  ASSERT_TRUE(rd.converged);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(rt.eig_re[i], rd.eig_re[i], expected_tol) << NumTraits<T>::name();
+  }
+}
+
+TEST(PartialSchurLowPrecision, Float16) { low_precision_run<Float16>(0.05); }
+TEST(PartialSchurLowPrecision, Posit16) { low_precision_run<Posit16>(0.05); }
+TEST(PartialSchurLowPrecision, Takum16) { low_precision_run<Takum16>(0.05); }
+TEST(PartialSchurLowPrecision, Posit32) { low_precision_run<Posit32>(1e-4); }
+TEST(PartialSchurLowPrecision, Takum32) { low_precision_run<Takum32>(1e-4); }
+
+TEST(PartialSchurLowPrecision, BFloat16ConvergesButCoarse) {
+  // bfloat16 (8 fraction bits) converges by its own residual test yet lands
+  // visibly off in the clustered Laplacian bulk — exactly the elevated
+  // errors the paper reports for bfloat16. Bound the damage rather than
+  // demand accuracy: eigenvalues stay in [0, 2] and the top one is within
+  // an eps-scale band of the true top.
+  Rng rng(907);
+  const CooMatrix lap = graph_laplacian_pipeline(stochastic_block(90, 3, 0.3, 0.02, rng));
+  const auto ad = CsrMatrix<double>::from_coo(lap);
+  const auto at = ad.convert<BFloat16>();
+  PartialSchurOptions opts;
+  opts.nev = 6;
+  opts.tolerance = NumTraits<BFloat16>::default_tolerance();
+  opts.max_restarts = 120;
+  const auto rt = partialschur<BFloat16>(at, opts);
+  ASSERT_TRUE(rt.converged) << rt.failure;
+  const auto rd = partialschur<double>(ad, opts);
+  ASSERT_TRUE(rd.converged);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(rt.eig_re[i], -0.1);
+    EXPECT_LE(rt.eig_re[i], 2.1);
+  }
+  EXPECT_NEAR(rt.eig_re[0], rd.eig_re[0], 0.5);
+  // And it is distinctly worse than float16 on the same problem (paper §3).
+  const auto af16 = ad.convert<Float16>();
+  const auto rf16 = partialschur<Float16>(af16, opts);
+  ASSERT_TRUE(rf16.converged);
+  EXPECT_LT(std::abs(rf16.eig_re[0] - rd.eig_re[0]),
+            std::abs(rt.eig_re[0] - rd.eig_re[0]) + 0.05);
+}
+
+}  // namespace
+}  // namespace mfla

@@ -1,0 +1,163 @@
+// Eigenpair matching tests (the paper's §2.2 pipeline): cosine similarity,
+// permutation recovery, sign correction, error metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/errors.hpp"
+#include "core/matching.hpp"
+#include "support/rng.hpp"
+
+namespace mfla {
+namespace {
+
+DenseMatrix<double> random_orthonormal_cols(std::size_t n, std::size_t k, Rng& rng) {
+  DenseMatrix<double> m(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    auto v = rng.unit_vector(n);
+    // Gram-Schmidt against previous columns.
+    for (std::size_t p = 0; p < j; ++p) {
+      double d = 0;
+      for (std::size_t i = 0; i < n; ++i) d += m(i, p) * v[i];
+      for (std::size_t i = 0; i < n; ++i) v[i] -= d * m(i, p);
+    }
+    double nr = 0;
+    for (const double x : v) nr += x * x;
+    nr = std::sqrt(nr);
+    for (std::size_t i = 0; i < n; ++i) m(i, j) = v[i] / nr;
+  }
+  return m;
+}
+
+TEST(CosineSimilarity, OrthonormalBasisGivesIdentity) {
+  Rng rng(81);
+  const auto q = random_orthonormal_cols(40, 6, rng);
+  const auto c = cosine_similarity(q, q);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(c(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(CosineSimilarity, SignInvariant) {
+  Rng rng(82);
+  const auto q = random_orthonormal_cols(30, 3, rng);
+  DenseMatrix<double> flipped = q;
+  for (std::size_t i = 0; i < 30; ++i) flipped(i, 1) = -flipped(i, 1);
+  const auto c = cosine_similarity(q, flipped);
+  EXPECT_NEAR(c(1, 1), 1.0, 1e-12);  // |cosine| ignores the sign
+}
+
+TEST(CosineSimilarity, ScaleInvariant) {
+  Rng rng(83);
+  const auto q = random_orthonormal_cols(30, 3, rng);
+  DenseMatrix<double> scaled = q;
+  for (std::size_t i = 0; i < 30; ++i) scaled(i, 2) *= 123.0;
+  const auto c = cosine_similarity(q, scaled);
+  EXPECT_NEAR(c(2, 2), 1.0, 1e-12);
+}
+
+TEST(Matching, RecoversPermutationAndSigns) {
+  Rng rng(84);
+  const std::size_t n = 50, k = 6;
+  const auto ref = random_orthonormal_cols(n, k, rng);
+  // Shuffle columns with a known permutation and flip some signs.
+  const int perm[6] = {4, 2, 0, 5, 1, 3};  // cmp column j = ref column ...
+  const double signs[6] = {1, -1, 1, -1, -1, 1};
+  DenseMatrix<double> cmp(n, k);
+  for (std::size_t rcol = 0; rcol < k; ++rcol) {
+    // place ref column rcol at cmp position perm[rcol]
+    for (std::size_t i = 0; i < n; ++i)
+      cmp(i, static_cast<std::size_t>(perm[rcol])) = signs[rcol] * ref(i, rcol);
+  }
+  const auto match = match_eigenvectors(ref, cmp);
+  for (std::size_t rcol = 0; rcol < k; ++rcol) {
+    EXPECT_EQ(match.permutation[rcol], perm[rcol]);
+  }
+  const auto aligned = apply_match(cmp, match);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(aligned(i, j), ref(i, j), 1e-12);
+  EXPECT_NEAR(match.mean_similarity, 1.0, 1e-12);
+}
+
+TEST(Matching, HandlesNoisyVectors) {
+  Rng rng(85);
+  const std::size_t n = 60, k = 5;
+  const auto ref = random_orthonormal_cols(n, k, rng);
+  DenseMatrix<double> cmp(n, k);
+  // Reversed order plus noise.
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      cmp(i, k - 1 - j) = ref(i, j) + 0.01 * rng.normal();
+  const auto match = match_eigenvectors(ref, cmp);
+  for (std::size_t j = 0; j < k; ++j) EXPECT_EQ(match.permutation[j], static_cast<int>(k - 1 - j));
+  EXPECT_GT(match.mean_similarity, 0.99);
+}
+
+TEST(Matching, EigenvaluePermutation) {
+  MatchResult m;
+  m.permutation = {2, 0, 1};
+  m.sign = {1, 1, 1};
+  const std::vector<double> values{10.0, 20.0, 30.0};
+  const auto p = apply_match(values, m);
+  EXPECT_DOUBLE_EQ(p[0], 30.0);
+  EXPECT_DOUBLE_EQ(p[1], 10.0);
+  EXPECT_DOUBLE_EQ(p[2], 20.0);
+}
+
+TEST(Matching, BufferColumnsGetMatchedButNotScored) {
+  // nev = 2 scored, buffer = 1: a swap within the buffered tail must not
+  // hurt the scored error (this is the paper's buffer rationale).
+  Rng rng(86);
+  const std::size_t n = 40;
+  const auto ref = random_orthonormal_cols(n, 3, rng);
+  DenseMatrix<double> cmp(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    cmp(i, 0) = ref(i, 0);
+    cmp(i, 1) = ref(i, 2);  // buffer-area content swapped
+    cmp(i, 2) = ref(i, 1);
+  }
+  const auto match = match_eigenvectors(ref, cmp);
+  const auto aligned = apply_match(cmp, match);
+  const auto err = eigenvector_errors(ref, aligned, 2);  // score only nev = 2
+  EXPECT_NEAR(err.relative, 0.0, 1e-12);
+}
+
+// ---- Error metrics -------------------------------------------------------------
+
+TEST(Errors, EigenvalueL2) {
+  const std::vector<double> ref{3.0, 4.0};
+  const std::vector<double> cmp{3.0, 4.0};
+  const auto e = eigenvalue_errors(ref, cmp, 2);
+  EXPECT_DOUBLE_EQ(e.absolute, 0.0);
+  EXPECT_DOUBLE_EQ(e.relative, 0.0);
+  const std::vector<double> off{3.0, 4.5};
+  const auto e2 = eigenvalue_errors(ref, off, 2);
+  EXPECT_DOUBLE_EQ(e2.absolute, 0.5);
+  EXPECT_DOUBLE_EQ(e2.relative, 0.5 / 5.0);
+}
+
+TEST(Errors, OnlyFirstNevScored) {
+  const std::vector<double> ref{1.0, 1.0, 100.0};
+  const std::vector<double> cmp{1.0, 1.0, -100.0};
+  const auto e = eigenvalue_errors(ref, cmp, 2);
+  EXPECT_DOUBLE_EQ(e.relative, 0.0);
+}
+
+TEST(Errors, EigenvectorFrobenius) {
+  DenseMatrix<double> ref(2, 2), cmp(2, 2);
+  ref(0, 0) = 1;
+  ref(1, 1) = 1;
+  cmp(0, 0) = 1;
+  cmp(1, 1) = 0;  // second column zeroed
+  const auto e = eigenvector_errors(ref, cmp, 2);
+  EXPECT_DOUBLE_EQ(e.absolute, 1.0);
+  EXPECT_DOUBLE_EQ(e.relative, 1.0 / std::sqrt(2.0));
+}
+
+TEST(Errors, InfiniteWhenEmpty) {
+  const auto e = eigenvalue_errors({}, {}, 2);
+  EXPECT_DOUBLE_EQ(e.absolute, 0.0);  // no entries -> zero diff, zero ref
+}
+
+}  // namespace
+}  // namespace mfla

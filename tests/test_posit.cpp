@@ -1,0 +1,296 @@
+// Posit arithmetic tests: standard encodings, exhaustive round trips,
+// monotonicity, two's-complement negation, saturation, NaR semantics and an
+// exhaustive 8-bit oracle with posit rounding semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "arith/posit.hpp"
+#include "arith/traits.hpp"
+#include "support/rng.hpp"
+
+namespace mfla {
+namespace {
+
+// ---- Known encodings (Posit Standard 2022, es = 2) -------------------------
+
+TEST(PositEncoding, One) {
+  EXPECT_EQ(Posit8(1.0).bits(), 0x40u);
+  EXPECT_EQ(Posit16(1.0).bits(), 0x4000u);
+  EXPECT_EQ(Posit32(1.0).bits(), 0x40000000u);
+  EXPECT_EQ(Posit64(1.0).bits(), 0x4000000000000000ull);
+}
+
+TEST(PositEncoding, MinusOneIsTwosComplement) {
+  EXPECT_EQ(Posit16(-1.0).bits(), 0xc000u);
+  EXPECT_EQ(Posit8(-1.0).bits(), 0xc0u);
+}
+
+TEST(PositEncoding, Ranges) {
+  // maxpos = 2^(4(n-2)), minpos = 2^(-4(n-2)) for es = 2.
+  EXPECT_DOUBLE_EQ(Posit8::max_positive().to_double(), 0x1p24);
+  EXPECT_DOUBLE_EQ(Posit8::min_positive().to_double(), 0x1p-24);
+  EXPECT_DOUBLE_EQ(Posit16::max_positive().to_double(), 0x1p56);
+  EXPECT_DOUBLE_EQ(Posit16::min_positive().to_double(), 0x1p-56);
+  EXPECT_DOUBLE_EQ(Posit32::max_positive().to_double(), 0x1p120);
+  EXPECT_DOUBLE_EQ(Posit32::min_positive().to_double(), 0x1p-120);
+}
+
+TEST(PositEncoding, SimpleValues) {
+  // posit16 es=2: 2.0 -> sign 0, regime "10" (k=0), exp 01, frac 0.
+  EXPECT_DOUBLE_EQ(Posit16(2.0).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(Posit16(0.5).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Posit16(16.0).to_double(), 16.0);   // useed = 16 boundary
+  EXPECT_DOUBLE_EQ(Posit16(1.5).to_double(), 1.5);
+  EXPECT_EQ(Posit16(2.0).bits(), 0x4800u);
+  EXPECT_EQ(Posit16(4.0).bits(), 0x5000u);
+  EXPECT_EQ(Posit16(8.0).bits(), 0x5800u);
+  EXPECT_EQ(Posit16(16.0).bits(), 0x6000u);  // k=1, regime "110"
+}
+
+TEST(PositEncoding, NaRAndZero) {
+  EXPECT_TRUE(Posit16::nar().is_nar());
+  EXPECT_EQ(Posit16::nar().bits(), 0x8000u);
+  EXPECT_TRUE(Posit16(0.0).is_zero());
+  EXPECT_EQ(Posit16(0.0).bits(), 0x0000u);
+  EXPECT_TRUE(std::isnan(Posit16::nar().to_double()));
+}
+
+// ---- Round trips ------------------------------------------------------------
+
+template <class P>
+void exhaustive_roundtrip() {
+  for (std::uint64_t b = 0; b < (1ull << P::kBits); ++b) {
+    const P x = P::from_bits(static_cast<typename P::Storage>(b));
+    if (x.is_nar()) continue;
+    const P back = P::from_double(x.to_double());
+    EXPECT_EQ(back.bits(), x.bits()) << "bits=" << b;
+  }
+}
+
+TEST(PositRoundTrip, Posit8Exhaustive) { exhaustive_roundtrip<Posit8>(); }
+TEST(PositRoundTrip, Posit16Exhaustive) { exhaustive_roundtrip<Posit16>(); }
+
+TEST(PositRoundTrip, Posit32Sampled) {
+  Rng rng(21);
+  for (int i = 0; i < 300000; ++i) {
+    const auto b = static_cast<std::uint32_t>(rng.next_u64());
+    const Posit32 x = Posit32::from_bits(b);
+    if (x.is_nar()) continue;
+    EXPECT_EQ(Posit32::from_double(x.to_double()).bits(), x.bits());
+  }
+}
+
+TEST(PositRoundTrip, Posit64UnpackRepack) {
+  // to_double is lossy for posit64 (fractions up to 59 bits), so test the
+  // codec round trip directly on the unpacked form.
+  Rng rng(22);
+  for (int i = 0; i < 300000; ++i) {
+    const std::uint64_t b = rng.next_u64() & 0x7fffffffffffffffull;
+    if (b == 0) continue;
+    const Unpacked u = PositCodec<64>::decode_positive(b);
+    EXPECT_EQ(PositCodec<64>::encode_positive(u.e, u.m, false, false), b);
+  }
+}
+
+// ---- Ordering and negation ---------------------------------------------------
+
+TEST(PositOrder, MonotoneEncoding) {
+  // Signed-integer comparison of encodings must match value comparison.
+  Rng rng(23);
+  for (int i = 0; i < 100000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rng.next_u64());
+    const auto b = static_cast<std::uint16_t>(rng.next_u64());
+    const Posit16 pa = Posit16::from_bits(a), pb = Posit16::from_bits(b);
+    if (pa.is_nar() || pb.is_nar()) continue;
+    EXPECT_EQ(pa < pb, pa.to_double() < pb.to_double()) << a << " " << b;
+  }
+}
+
+TEST(PositNegate, TwosComplement) {
+  Rng rng(24);
+  for (int i = 0; i < 100000; ++i) {
+    const auto b = static_cast<std::uint16_t>(rng.next_u64());
+    const Posit16 p = Posit16::from_bits(b);
+    if (p.is_nar()) continue;
+    EXPECT_DOUBLE_EQ((-p).to_double(), -p.to_double());
+    EXPECT_EQ((-(-p)).bits(), p.bits());
+  }
+}
+
+TEST(PositAbs, MatchesMagnitude) {
+  EXPECT_DOUBLE_EQ(abs(Posit16(-2.5)).to_double(), 2.5);
+  EXPECT_DOUBLE_EQ(abs(Posit16(2.5)).to_double(), 2.5);
+  EXPECT_TRUE(abs(Posit16::nar()).is_nar());
+}
+
+// ---- Saturation (no overflow to NaR, no underflow to zero) -------------------
+
+TEST(PositSaturation, MulOverflowClampsToMaxpos) {
+  const Posit8 big = Posit8::max_positive();
+  EXPECT_EQ((big * big).bits(), Posit8::max_positive().bits());
+  EXPECT_EQ((-big * big).bits(), (-Posit8::max_positive()).bits());
+}
+
+TEST(PositSaturation, MulUnderflowClampsToMinpos) {
+  const Posit8 tiny = Posit8::min_positive();
+  EXPECT_EQ((tiny * tiny).bits(), Posit8::min_positive().bits());
+  EXPECT_EQ((tiny * -tiny).bits(), (-Posit8::min_positive()).bits());
+}
+
+TEST(PositSaturation, FromDoubleClamps) {
+  EXPECT_EQ(Posit8(1e300).bits(), Posit8::max_positive().bits());
+  EXPECT_EQ(Posit8(1e-300).bits(), Posit8::min_positive().bits());
+  EXPECT_EQ(Posit8(-1e300).bits(), (-Posit8::max_positive()).bits());
+  // No ∞σ possible: a posit conversion never loses a finite non-zero value.
+  EXPECT_FALSE(conversion_loses_value<Posit8>(1e300));
+  EXPECT_FALSE(conversion_loses_value<Posit8>(1e-300));
+}
+
+// ---- NaR propagation ----------------------------------------------------------
+
+TEST(PositNaR, Propagation) {
+  const Posit16 nar = Posit16::nar();
+  EXPECT_TRUE((nar + Posit16(1.0)).is_nar());
+  EXPECT_TRUE((nar * Posit16(0.0)).is_nar());
+  EXPECT_TRUE((Posit16(1.0) / Posit16(0.0)).is_nar());
+  EXPECT_TRUE(sqrt(Posit16(-4.0)).is_nar());
+  EXPECT_TRUE(Posit16(std::nan("")).is_nar());
+  EXPECT_TRUE(Posit16(INFINITY).is_nar());
+}
+
+// ---- Exhaustive 8-bit oracle ----------------------------------------------
+// Oracle semantics: the exact result is rounded to the posit whose *encoding
+// tail* round-to-nearest-even applies (geometric cuts in truncated-field
+// regions), with saturation at minpos/maxpos. We verify the cheap invariant
+// instead: the result must be one of the two representable neighbors of the
+// exact value, and strictly correctly rounded whenever the exact value lies
+// within the uniform-fraction region of both neighbors.
+
+std::vector<double> all_posit8_values() {
+  std::vector<double> v;
+  for (int b = 0; b < 256; ++b) {
+    const Posit8 p = Posit8::from_bits(static_cast<std::uint8_t>(b));
+    if (!p.is_nar()) v.push_back(p.to_double());
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void expect_neighbor(double exact, const Posit8& got, const std::vector<double>& values,
+                     const char* what) {
+  ASSERT_FALSE(got.is_nar()) << what;
+  const double g = got.to_double();
+  // Clamp the exact value into the representable range (saturation).
+  const double lo = values.front(), hi = values.back();
+  double x = exact;
+  if (x > hi) x = hi;
+  if (x < lo) x = lo;
+  auto it = std::lower_bound(values.begin(), values.end(), x);
+  double above = (it == values.end()) ? hi : *it;
+  double below = (it == values.begin()) ? lo : *(it - 1);
+  EXPECT_TRUE(g == above || g == below)
+      << what << ": exact=" << exact << " got=" << g << " neighbors=[" << below << ", " << above
+      << "]";
+}
+
+TEST(Posit8Oracle, AddMulDivWithinNeighborBounds) {
+  const auto values = all_posit8_values();
+  for (int a = 0; a < 256; ++a) {
+    const Posit8 pa = Posit8::from_bits(static_cast<std::uint8_t>(a));
+    if (pa.is_nar()) continue;
+    for (int b = 0; b < 256; ++b) {
+      const Posit8 pb = Posit8::from_bits(static_cast<std::uint8_t>(b));
+      if (pb.is_nar()) continue;
+      const double xa = pa.to_double(), xb = pb.to_double();
+      const double s = xa + xb;
+      const Posit8 ps = pa + pb;
+      if (s == 0.0) {
+        EXPECT_TRUE(ps.is_zero());
+      } else {
+        expect_neighbor(s, ps, values, "add");
+      }
+      const double m = xa * xb;
+      const Posit8 pm = pa * pb;
+      if (m == 0.0) {
+        EXPECT_TRUE(pm.is_zero());
+      } else {
+        expect_neighbor(m, pm, values, "mul");
+      }
+      if (xb != 0.0) {
+        expect_neighbor(xa / xb, pa / pb, values, "div");
+      } else {
+        EXPECT_TRUE((pa / pb).is_nar());
+      }
+    }
+  }
+}
+
+TEST(Posit8Oracle, SqrtCorrect) {
+  const auto values = all_posit8_values();
+  for (int a = 0; a < 256; ++a) {
+    const Posit8 pa = Posit8::from_bits(static_cast<std::uint8_t>(a));
+    if (pa.is_nar()) continue;
+    if (pa.to_double() < 0) {
+      EXPECT_TRUE(sqrt(pa).is_nar());
+      continue;
+    }
+    if (pa.is_zero()) {
+      EXPECT_TRUE(sqrt(pa).is_zero());
+      continue;
+    }
+    expect_neighbor(std::sqrt(pa.to_double()), sqrt(pa), values, "sqrt");
+  }
+}
+
+// ---- Correct rounding in the uniform region (posit16 vs long double) -------
+
+TEST(Posit16CorrectRounding, RandomOps) {
+  // In magnitude ranges where posit16 has >= 8 fraction bits, the result of
+  // a correctly rounded op differs from the long-double exact value by at
+  // most half an ulp of the wider neighbor gap.
+  Rng rng(25);
+  int checked = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const double a = rng.normal() * rng.log_uniform(-2.0, 2.0);
+    const double b = rng.normal() * rng.log_uniform(-2.0, 2.0);
+    const Posit16 pa(a), pb(b);
+    const long double xa = pa.to_double(), xb = pb.to_double();
+    const struct {
+      long double exact;
+      Posit16 got;
+    } cases[] = {{xa + xb, pa + pb}, {xa * xb, pa * pb}, {xb != 0 ? xa / xb : 0, pa / pb}};
+    for (const auto& c : cases) {
+      if (c.exact == 0 || c.got.is_nar()) continue;
+      const double g = c.got.to_double();
+      // Neighbors of got in posit16:
+      const Posit16 up = Posit16::from_bits(static_cast<std::uint16_t>(c.got.bits() + 1));
+      const Posit16 dn = Posit16::from_bits(static_cast<std::uint16_t>(c.got.bits() - 1));
+      if (up.is_nar() || dn.is_nar()) continue;
+      const long double gap =
+          std::max<long double>(std::abs(up.to_double() - g), std::abs(g - dn.to_double()));
+      EXPECT_LE(std::abs(static_cast<double>(c.exact - static_cast<long double>(g))),
+                static_cast<double>(gap) * 0.5000001)
+          << "a=" << a << " b=" << b;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100000);
+}
+
+// ---- es ablation support ------------------------------------------------------
+
+TEST(PositEs, DifferentEsChangeRange) {
+  using P16e0 = Posit<16, 0>;
+  using P16e1 = Posit<16, 1>;
+  using P16e3 = Posit<16, 3>;
+  EXPECT_DOUBLE_EQ(P16e0::max_positive().to_double(), 0x1p14);
+  EXPECT_DOUBLE_EQ(P16e1::max_positive().to_double(), 0x1p28);
+  EXPECT_DOUBLE_EQ(P16e3::max_positive().to_double(), 0x1p112);
+  EXPECT_EQ(P16e0(1.0).bits(), 0x4000u);
+  EXPECT_EQ(P16e1(1.0).bits(), 0x4000u);
+}
+
+}  // namespace
+}  // namespace mfla

@@ -1,0 +1,214 @@
+// Takum arithmetic tests: layout per the takum paper (linear takums),
+// characteristic coverage, truncation, round trips, ordering, saturation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/takum.hpp"
+#include "arith/traits.hpp"
+#include "support/rng.hpp"
+
+namespace mfla {
+namespace {
+
+// ---- Layout / known values ---------------------------------------------------
+
+TEST(TakumEncoding, One) {
+  // 1.0: S=0, D=1, regime=000 (c = 0), no characteristic bits, mantissa 0.
+  EXPECT_EQ(Takum16(1.0).bits(), 0x4000u);
+  EXPECT_EQ(Takum32(1.0).bits(), 0x40000000u);
+  EXPECT_EQ(Takum64(1.0).bits(), 0x4000000000000000ull);
+  EXPECT_EQ(Takum8(1.0).bits(), 0x40u);
+}
+
+TEST(TakumEncoding, PowersOfTwo) {
+  // 2.0: c = 1 -> D=1, rho=001, C field "0" (1 bit), mantissa 0.
+  // bits: 0 1 001 0 ... = 0x48.. for takum16.
+  EXPECT_EQ(Takum16(2.0).bits(), 0x4800u);
+  EXPECT_DOUBLE_EQ(Takum16(2.0).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(Takum16(4.0).to_double(), 4.0);
+  EXPECT_DOUBLE_EQ(Takum16(0.5).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Takum16(1024.0).to_double(), 1024.0);
+}
+
+TEST(TakumEncoding, NaRAndZero) {
+  EXPECT_EQ(Takum16::nar().bits(), 0x8000u);
+  EXPECT_TRUE(Takum16::nar().is_nar());
+  EXPECT_TRUE(Takum16(0.0).is_zero());
+  EXPECT_TRUE(Takum16(NAN).is_nar());
+  EXPECT_TRUE(Takum16(INFINITY).is_nar());
+}
+
+TEST(TakumEncoding, DynamicRange) {
+  // takum8: 3 bits after S,D,RRR; max c = 127 + 0b111 << 4 = 239.
+  EXPECT_DOUBLE_EQ(Takum8::max_positive().to_double(), 0x1p239);
+  EXPECT_DOUBLE_EQ(Takum8::min_positive().to_double(), 0x1p-239);
+  // takum16+: full characteristic available -> c in [-255, 254] and
+  // maxpos has a near-full mantissa.
+  EXPECT_GT(Takum16::max_positive().to_double(), 0x1p254);
+  EXPECT_LT(Takum16::min_positive().to_double(), 0x1p-254);
+}
+
+TEST(TakumEncoding, CharacteristicFullCoverage) {
+  // Every characteristic c in [-254, 254] must round-trip at 64 bits.
+  for (int c = -254; c <= 254; ++c) {
+    const auto enc = TakumCodec<64>::encode_positive(c, 1ull << 63, false, false);
+    const Unpacked u = TakumCodec<64>::decode_positive(enc);
+    EXPECT_EQ(u.e, c);
+    EXPECT_EQ(u.m, 1ull << 63);
+  }
+  // c = -255 with mantissa exactly 1.0 would be the all-zero pattern
+  // (= special zero); saturation clamps it to minpos (encoding 1) instead.
+  EXPECT_EQ(TakumCodec<64>::encode_positive(-255, 1ull << 63, false, false), 1ull);
+  const Unpacked minpos = TakumCodec<64>::decode_positive(1);
+  EXPECT_EQ(minpos.e, -255);
+}
+
+TEST(TakumEncoding, MantissaWidthAtOne) {
+  // At c = 0 a takum-n has n-5 mantissa bits: 1 + 2^-(n-5) must be the
+  // next value above 1.
+  const double next16 = Takum16::from_bits(Takum16(1.0).bits() + 1).to_double();
+  EXPECT_DOUBLE_EQ(next16 - 1.0, 0x1p-11);
+  const double next32 = static_cast<double>(Takum32::from_bits(Takum32(1.0).bits() + 1).to_double());
+  EXPECT_DOUBLE_EQ(next32 - 1.0, 0x1p-27);
+}
+
+// ---- Round trips ----------------------------------------------------------------
+
+template <class P>
+void exhaustive_roundtrip() {
+  for (std::uint64_t b = 0; b < (1ull << P::kBits); ++b) {
+    const P x = P::from_bits(static_cast<typename P::Storage>(b));
+    if (x.is_nar()) continue;
+    EXPECT_EQ(P::from_double(x.to_double()).bits(), x.bits()) << "bits=" << b;
+  }
+}
+
+TEST(TakumRoundTrip, Takum8Exhaustive) { exhaustive_roundtrip<Takum8>(); }
+TEST(TakumRoundTrip, Takum16Exhaustive) { exhaustive_roundtrip<Takum16>(); }
+
+TEST(TakumRoundTrip, Takum32Sampled) {
+  Rng rng(31);
+  for (int i = 0; i < 300000; ++i) {
+    const auto b = static_cast<std::uint32_t>(rng.next_u64());
+    const Takum32 x = Takum32::from_bits(b);
+    if (x.is_nar()) continue;
+    EXPECT_EQ(Takum32::from_double(x.to_double()).bits(), x.bits());
+  }
+}
+
+TEST(TakumRoundTrip, Takum64UnpackRepack) {
+  Rng rng(32);
+  for (int i = 0; i < 300000; ++i) {
+    const std::uint64_t b = rng.next_u64() & 0x7fffffffffffffffull;
+    if (b == 0) continue;
+    const Unpacked u = TakumCodec<64>::decode_positive(b);
+    EXPECT_EQ(TakumCodec<64>::encode_positive(u.e, u.m, false, false), b);
+  }
+}
+
+// ---- Ordering / negation ----------------------------------------------------------
+
+TEST(TakumOrder, MonotoneEncoding) {
+  Rng rng(33);
+  for (int i = 0; i < 100000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rng.next_u64());
+    const auto b = static_cast<std::uint16_t>(rng.next_u64());
+    const Takum16 pa = Takum16::from_bits(a), pb = Takum16::from_bits(b);
+    if (pa.is_nar() || pb.is_nar()) continue;
+    EXPECT_EQ(pa < pb, pa.to_double() < pb.to_double());
+  }
+}
+
+TEST(TakumNegate, TwosComplement) {
+  Rng rng(34);
+  for (int i = 0; i < 100000; ++i) {
+    const auto b = static_cast<std::uint16_t>(rng.next_u64());
+    const Takum16 p = Takum16::from_bits(b);
+    if (p.is_nar()) continue;
+    EXPECT_DOUBLE_EQ((-p).to_double(), -p.to_double());
+    EXPECT_EQ((-(-p)).bits(), p.bits());
+  }
+}
+
+// ---- Saturation --------------------------------------------------------------------
+
+TEST(TakumSaturation, NoOverflowToNaR) {
+  const Takum8 big = Takum8::max_positive();
+  EXPECT_EQ((big * big).bits(), Takum8::max_positive().bits());
+  const Takum8 tiny = Takum8::min_positive();
+  EXPECT_EQ((tiny * tiny).bits(), Takum8::min_positive().bits());
+  EXPECT_FALSE(conversion_loses_value<Takum8>(1e300));
+  EXPECT_FALSE(conversion_loses_value<Takum8>(1e-300));
+}
+
+TEST(TakumSaturation, CharacteristicClamp) {
+  EXPECT_EQ(Takum16(1e300).bits(), Takum16::max_positive().bits());
+  EXPECT_EQ(Takum16(1e-300).bits(), Takum16::min_positive().bits());
+}
+
+// ---- Arithmetic correctness (vs exactly representable cases) ------------------------
+
+TEST(TakumArith, ExactCases) {
+  EXPECT_DOUBLE_EQ((Takum16(1.5) + Takum16(2.25)).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((Takum16(1.5) * Takum16(2.0)).to_double(), 3.0);
+  EXPECT_DOUBLE_EQ((Takum16(3.0) / Takum16(2.0)).to_double(), 1.5);
+  EXPECT_DOUBLE_EQ(sqrt(Takum16(4.0)).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(sqrt(Takum16(2.25)).to_double(), 1.5);
+  EXPECT_DOUBLE_EQ((Takum16(1.0) - Takum16(1.0)).to_double(), 0.0);
+}
+
+TEST(TakumArith, HugeRangeProducts) {
+  // 2^100 * 2^100 = 2^200: representable in every takum width >= 16.
+  const Takum16 a = Takum16::from_double(0x1p100);
+  EXPECT_DOUBLE_EQ((a * a).to_double(), 0x1p200);
+  const Takum16 b = Takum16::from_double(0x1p-100);
+  EXPECT_DOUBLE_EQ((b * b).to_double(), 0x1p-200);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 1.0);
+}
+
+TEST(TakumArith, NaRPropagation) {
+  EXPECT_TRUE((Takum16::nar() + Takum16(1.0)).is_nar());
+  EXPECT_TRUE((Takum16(1.0) / Takum16(0.0)).is_nar());
+  EXPECT_TRUE(sqrt(Takum16(-1.0)).is_nar());
+}
+
+TEST(TakumArith, CorrectRoundingNeighborBound) {
+  // Result of any op must be within half of the wider neighbor gap.
+  Rng rng(35);
+  for (int i = 0; i < 200000; ++i) {
+    const double a = rng.normal() * rng.log_uniform(-3.0, 3.0);
+    const double b = rng.normal() * rng.log_uniform(-3.0, 3.0);
+    const Takum16 pa(a), pb(b);
+    const long double xa = pa.to_double(), xb = pb.to_double();
+    const struct {
+      long double exact;
+      Takum16 got;
+    } cases[] = {{xa + xb, pa + pb}, {xa * xb, pa * pb}, {xb != 0 ? xa / xb : 0, pa / pb}};
+    for (const auto& c : cases) {
+      if (c.exact == 0 || c.got.is_nar()) continue;
+      const double g = c.got.to_double();
+      const Takum16 up = Takum16::from_bits(static_cast<std::uint16_t>(c.got.bits() + 1));
+      const Takum16 dn = Takum16::from_bits(static_cast<std::uint16_t>(c.got.bits() - 1));
+      if (up.is_nar() || dn.is_nar()) continue;
+      const long double gap =
+          std::max<long double>(std::abs(up.to_double() - g), std::abs(g - dn.to_double()));
+      EXPECT_LE(std::abs(static_cast<double>(c.exact - static_cast<long double>(g))),
+                static_cast<double>(gap) * 0.5000001);
+    }
+  }
+}
+
+TEST(TakumVsPosit, PrecisionProfile) {
+  // Takums keep more fraction bits than posits away from 1 (flat taper):
+  // at 2^40, takum32 has 32-5-6=21 fraction bits, posit32 has 32-3-2-11=17.
+  // Check via neighbor gaps.
+  const double x = 0x1.123456789p40;
+  const Takum32 t(x);
+  const auto tgap = std::abs(Takum32::from_bits(t.bits() + 1).to_double() - t.to_double());
+  EXPECT_LT(tgap / x, 0x1p-20);
+  EXPECT_GT(tgap / x, 0x1p-23);
+}
+
+}  // namespace
+}  // namespace mfla

@@ -1,0 +1,169 @@
+// mfla_experiment: command-line driver for the paper's evaluation pipeline.
+//
+// Run the multi-format eigenvalue experiment on your own matrices or on
+// the built-in corpora, and write the raw per-run results + cumulative
+// distributions as CSV.
+//
+// Usage:
+//   mfla_experiment --corpus general|biological|infrastructure|social|miscellaneous
+//                   [--count N] [--nev K] [--buffer B] [--restarts R]
+//                   [--formats f16,bf16,p16,t16,...] [--out prefix]
+//   mfla_experiment file1.mtx graph2.edges ...   (same options)
+//
+// Format keys: e4m3 e5m2 p8 t8 f16 bf16 p16 t16 f32 p32 t32 f64 p64 t64.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mfla.hpp"
+
+namespace {
+
+using namespace mfla;
+
+const std::map<std::string, FormatId>& format_keys() {
+  static const std::map<std::string, FormatId> keys = {
+      {"e4m3", FormatId::ofp8_e4m3}, {"e5m2", FormatId::ofp8_e5m2},
+      {"p8", FormatId::posit8},      {"t8", FormatId::takum8},
+      {"f16", FormatId::float16},    {"bf16", FormatId::bfloat16},
+      {"p16", FormatId::posit16},    {"t16", FormatId::takum16},
+      {"f32", FormatId::float32},    {"p32", FormatId::posit32},
+      {"t32", FormatId::takum32},    {"f64", FormatId::float64},
+      {"p64", FormatId::posit64},    {"t64", FormatId::takum64},
+  };
+  return keys;
+}
+
+std::vector<FormatId> parse_formats(const std::string& spec) {
+  std::vector<FormatId> out;
+  std::string token;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ',') {
+      if (!token.empty()) {
+        const auto it = format_keys().find(token);
+        if (it == format_keys().end()) {
+          std::fprintf(stderr, "unknown format key '%s'\n", token.c_str());
+          std::exit(2);
+        }
+        out.push_back(it->second);
+        token.clear();
+      }
+    } else {
+      token += spec[i];
+    }
+  }
+  return out;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: mfla_experiment (--corpus NAME | files...) [--count N] [--nev K]\n"
+               "       [--buffer B] [--restarts R] [--formats keys] [--out prefix]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus;
+  std::string out_prefix = "out/experiment";
+  std::string formats_spec = "f16,bf16,p16,t16,f32,p32,t32,f64,p64,t64";
+  std::size_t count = 24;
+  ExperimentConfig cfg;
+  cfg.max_restarts = 80;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--corpus") {
+      corpus = next();
+    } else if (arg == "--count") {
+      count = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--nev") {
+      cfg.nev = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--buffer") {
+      cfg.buffer = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--restarts") {
+      cfg.max_restarts = std::stoi(next());
+    } else if (arg == "--formats") {
+      formats_spec = next();
+    } else if (arg == "--out") {
+      out_prefix = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (corpus.empty() && files.empty()) usage();
+
+  // Assemble the dataset.
+  std::vector<TestMatrix> dataset;
+  try {
+    if (!corpus.empty()) {
+      if (corpus == "general") {
+        GeneralCorpusOptions opts;
+        opts.count = count;
+        dataset = build_general_corpus(opts);
+      } else {
+        GraphCorpusOptions opts;
+        opts.counts = {count, count, count, count};
+        dataset = build_graph_corpus(opts, corpus);
+      }
+    }
+    for (const auto& path : files) {
+      CooMatrix coo;
+      if (ends_with(path, ".edges")) {
+        coo = graph_laplacian_pipeline(read_edge_list_file(path));
+      } else {
+        coo = read_matrix_market_file(path);
+        if (!coo.is_symmetric(1e-12)) coo = symmetrize_average(squarify(coo));
+      }
+      dataset.push_back(make_test_matrix(path, "user", "user", coo));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (dataset.empty()) {
+    std::fprintf(stderr, "no matrices to run\n");
+    return 1;
+  }
+
+  const std::vector<FormatId> formats = parse_formats(formats_spec);
+  std::printf("running %zu matrices x %zu formats (nev=%zu buffer=%zu restarts=%d)\n",
+              dataset.size(), formats.size(), cfg.nev, cfg.buffer, cfg.max_restarts);
+
+  const auto results = run_experiment(dataset, formats, cfg);
+
+  write_results_csv(out_prefix + "_raw.csv", results);
+  for (const int bits : {8, 16, 32, 64}) {
+    std::vector<Distribution> eig, vec;
+    for (const auto& f : formats) {
+      if (format_info(f).bits != bits) continue;
+      eig.push_back(build_distribution(results, f, false));
+      vec.push_back(build_distribution(results, f, true));
+    }
+    if (eig.empty()) continue;
+    std::printf("%s", summary_table(eig, std::to_string(bits) + "-bit eigenvalues").c_str());
+    std::printf("%s", summary_table(vec, std::to_string(bits) + "-bit eigenvectors").c_str());
+    write_distribution_csv(out_prefix + "_" + std::to_string(bits) + "bit_eigenvalues.csv", eig);
+    write_distribution_csv(out_prefix + "_" + std::to_string(bits) + "bit_eigenvectors.csv", vec);
+  }
+  std::printf("results written to %s_*.csv\n", out_prefix.c_str());
+  return 0;
+}
