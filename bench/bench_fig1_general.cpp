@@ -1,6 +1,8 @@
 // Figure 1 reproduction: cumulative relative-error distributions of the 10
 // largest eigenpairs of the *general matrices* (SuiteSparse substitute),
 // per bit width and format, with ∞ω/∞σ tails.
+//
+// Honors MFLA_BENCH_SCALE (dataset size multiplier); see docs/EXPERIMENTS.md.
 #include "figure_common.hpp"
 
 int main() {

@@ -1,5 +1,7 @@
 // Figure 2 reproduction: biological graph Laplacians (duplication-
 // divergence protein networks et al.), cumulative error distributions.
+//
+// Honors MFLA_BENCH_SCALE (dataset size multiplier); see docs/EXPERIMENTS.md.
 #include "figure_common.hpp"
 
 int main() {

@@ -1,5 +1,7 @@
 // Figure 3 reproduction: infrastructure graph Laplacians (roads, power
 // grids, geometric networks), cumulative error distributions.
+//
+// Honors MFLA_BENCH_SCALE (dataset size multiplier); see docs/EXPERIMENTS.md.
 #include "figure_common.hpp"
 
 int main() {

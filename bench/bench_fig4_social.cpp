@@ -1,5 +1,7 @@
 // Figure 4 reproduction: social graph Laplacians (communities, hubs,
 // collaboration structure), cumulative error distributions.
+//
+// Honors MFLA_BENCH_SCALE (dataset size multiplier); see docs/EXPERIMENTS.md.
 #include "figure_common.hpp"
 
 int main() {

@@ -2,6 +2,8 @@
 // class: exact eigenvalue multiplicities (complete graphs, repeated
 // components), huge-degree hubs and wide-dynamic-range weights that drive
 // the ∞σ tails the paper reports even at 16/32 bits.
+//
+// Honors MFLA_BENCH_SCALE (dataset size multiplier); see docs/EXPERIMENTS.md.
 #include "figure_common.hpp"
 
 int main() {

@@ -1,6 +1,6 @@
 // Table 1 reproduction: composition of the graph corpus — the 4 aggregated
 // classes built from per-category generators, with per-category counts
-// (paper Table 1 shape at reduced scale; see DESIGN.md §3), plus the
+// (paper Table 1 shape at reduced scale; see docs/DESIGN.md §3), plus the
 // general-matrix corpus statistics that define the Figure 1 workload.
 #include <cstdio>
 #include <map>

@@ -4,7 +4,7 @@
 // per bit width (8/16/32/64) and metric (eigenvalue/eigenvector), exactly
 // the series the paper plots: the cumulative distribution of log10 relative
 // errors with the ∞ω/∞σ tails — as CSV under out/, an ASCII panel, and a
-// summary table used by EXPERIMENTS.md.
+// summary table used by docs/EXPERIMENTS.md.
 #pragma once
 
 #include <chrono>

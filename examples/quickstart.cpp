@@ -2,8 +2,8 @@
 // low-precision format and compare against float64.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/quickstart
 #include <cstdio>
 
 #include "mfla.hpp"

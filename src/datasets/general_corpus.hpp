@@ -1,6 +1,6 @@
 // Synthetic stand-in for the paper's 302 SuiteSparse general matrices
 // (symmetric, <= 20,000 non-zeros, wildly varying size, scale and
-// condition number). See DESIGN.md §3 for the substitution rationale.
+// condition number). See docs/DESIGN.md §3 for the substitution rationale.
 #pragma once
 
 #include <cstddef>

@@ -29,7 +29,7 @@ struct SchurStatus {
 ///  * lapack   — dlarfg-style, tau in [1,2]: robust in tapered formats.
 ///  * textbook — Golub & Van Loan beta = 2 v0^2/(sigma+v0^2): forms the
 ///    square of a small scale, where tapered-precision formats carry very
-///    few fraction bits. Kept for the A4 ablation (DESIGN.md §5), which
+///    few fraction bits. Kept for the A4 ablation (docs/DESIGN.md §5), which
 ///    demonstrates a plausible mechanism behind the paper's posit anomaly.
 enum class ReflectorStyle { lapack, textbook };
 

@@ -17,27 +17,41 @@ std::string lower(std::string s) {
   return s;
 }
 
-/// Next non-comment, non-blank line; returns false on EOF.
-bool next_data_line(std::istream& in, std::string& line) {
-  while (std::getline(in, line)) {
-    std::size_t i = 0;
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
-    if (i == line.size()) continue;
-    if (line[i] == '%' || line[i] == '#') continue;
-    return true;
+/// Line-counting reader skipping comments and blanks, so errors can point
+/// at the offending 1-based line of the input.
+struct LineReader {
+  std::istream& in;
+  long lineno = 0;
+
+  /// Next non-comment, non-blank line; returns false on EOF.
+  bool next_data_line(std::string& line) {
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::size_t i = 0;
+      while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+      if (i == line.size()) continue;
+      if (line[i] == '%' || line[i] == '#') continue;
+      return true;
+    }
+    return false;
   }
-  return false;
-}
+};
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("matrix market: " + what);
 }
 
+[[noreturn]] void fail_at(long lineno, const std::string& what) {
+  fail("line " + std::to_string(lineno) + ": " + what);
+}
+
 }  // namespace
 
 CooMatrix read_matrix_market(std::istream& in, MatrixMarketHeader* header) {
+  LineReader reader{in};
   std::string line;
   if (!std::getline(in, line)) fail("empty input");
+  reader.lineno = 1;
 
   MatrixMarketHeader h;
   {
@@ -64,24 +78,28 @@ CooMatrix read_matrix_market(std::istream& in, MatrixMarketHeader* header) {
   }
   if (header != nullptr) *header = h;
 
-  if (!next_data_line(in, line)) fail("missing size line");
+  if (!reader.next_data_line(line)) fail_at(reader.lineno, "missing size line");
   std::istringstream size_line(line);
 
   CooMatrix coo;
   if (h.coordinate) {
     long long rows = 0, cols = 0, entries = 0;
     size_line >> rows >> cols >> entries;
-    if (size_line.fail() || rows < 0 || cols < 0 || entries < 0) fail("bad size line");
+    if (size_line.fail() || rows < 0 || cols < 0 || entries < 0) {
+      fail_at(reader.lineno, "bad size line");
+    }
     coo.set_shape(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
     coo.reserve(static_cast<std::size_t>(entries) * (h.symmetry == "general" ? 1 : 2));
     for (long long k = 0; k < entries; ++k) {
-      if (!next_data_line(in, line)) fail("unexpected EOF in entries");
+      if (!reader.next_data_line(line)) fail_at(reader.lineno, "unexpected EOF in entries");
       std::istringstream e(line);
       long long r = 0, c = 0;
       double v = 1.0;
       e >> r >> c;
       if (h.field != "pattern") e >> v;
-      if (e.fail() || r < 1 || c < 1 || r > rows || c > cols) fail("bad entry '" + line + "'");
+      if (e.fail() || r < 1 || c < 1 || r > rows || c > cols) {
+        fail_at(reader.lineno, "bad entry '" + line + "'");
+      }
       const auto ri = static_cast<std::uint32_t>(r - 1);
       const auto ci = static_cast<std::uint32_t>(c - 1);
       coo.add(ri, ci, v);
@@ -93,17 +111,23 @@ CooMatrix read_matrix_market(std::istream& in, MatrixMarketHeader* header) {
   } else {
     long long rows = 0, cols = 0;
     size_line >> rows >> cols;
-    if (size_line.fail() || rows < 0 || cols < 0) fail("bad size line");
+    if (size_line.fail() || rows < 0 || cols < 0) fail_at(reader.lineno, "bad size line");
     coo.set_shape(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
-    // Array data is column-major; symmetric storage lists the lower triangle.
+    // Array data is column-major; symmetric storage lists the lower
+    // triangle, skew-symmetric the *strictly* lower triangle (the diagonal
+    // is implicitly zero).
     for (long long j = 0; j < cols; ++j) {
-      const long long i0 = (h.symmetry == "general") ? 0 : j;
+      const long long i0 = (h.symmetry == "general")        ? 0
+                           : (h.symmetry == "skew-symmetric") ? j + 1
+                                                              : j;
       for (long long i = i0; i < rows; ++i) {
-        if (!next_data_line(in, line)) fail("unexpected EOF in array data");
+        if (!reader.next_data_line(line)) {
+          fail_at(reader.lineno, "unexpected EOF in array data");
+        }
         std::istringstream e(line);
         double v = 0.0;
         e >> v;
-        if (e.fail()) fail("bad array value '" + line + "'");
+        if (e.fail()) fail_at(reader.lineno, "bad array value '" + line + "'");
         const auto ri = static_cast<std::uint32_t>(i);
         const auto ci = static_cast<std::uint32_t>(j);
         coo.add(ri, ci, v);

@@ -19,7 +19,9 @@ TEST(GeneralCorpus, DeterministicAndSorted) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].name, b[i].name);
     EXPECT_EQ(a[i].nnz(), b[i].nnz());
-    if (i > 0) EXPECT_LT(a[i - 1].name, a[i].name);
+    if (i > 0) {
+      EXPECT_LT(a[i - 1].name, a[i].name);
+    }
   }
 }
 

@@ -41,7 +41,9 @@ TEST(Experiment, ReferenceSolveConverges) {
   for (std::size_t i = 0; i < ref.values.size(); ++i) {
     EXPECT_GE(ref.values[i], -1e-12);
     EXPECT_LE(ref.values[i], 2.0 + 1e-12);
-    if (i > 0) EXPECT_GE(std::abs(ref.values[i - 1]), std::abs(ref.values[i]) - 1e-9);
+    if (i > 0) {
+      EXPECT_GE(std::abs(ref.values[i - 1]), std::abs(ref.values[i]) - 1e-9);
+    }
   }
 }
 

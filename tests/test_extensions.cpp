@@ -212,7 +212,7 @@ TEST(ResultsIo, OutcomeNames) {
   EXPECT_STREQ(outcome_name(RunOutcome::no_convergence), "omega");
   EXPECT_STREQ(outcome_name(RunOutcome::range_exceeded), "sigma");
   EXPECT_EQ(outcome_from_name("sigma"), RunOutcome::range_exceeded);
-  EXPECT_THROW(outcome_from_name("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)outcome_from_name("bogus"), std::invalid_argument);
 }
 
 TEST(ResultsIo, DistributionsSurviveRoundTrip) {

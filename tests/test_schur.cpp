@@ -106,7 +106,9 @@ TEST_P(SchurGeneralSizes, QuasiTriangularDecomposition) {
   for (std::size_t j = 0; j + 2 < n; ++j)
     for (std::size_t i = j + 2; i < n; ++i) EXPECT_DOUBLE_EQ(p.t(i, j), 0.0);
   for (std::size_t i = 0; i + 2 < n; ++i) {
-    if (p.t(i + 1, i) != 0.0) EXPECT_DOUBLE_EQ(p.t(i + 2, i + 1), 0.0);
+    if (p.t(i + 1, i) != 0.0) {
+      EXPECT_DOUBLE_EQ(p.t(i + 2, i + 1), 0.0);
+    }
   }
   // Complex eigenvalues come in conjugate pairs; trace preserved.
   std::vector<double> re, im;
