@@ -1,0 +1,272 @@
+// Task-parallel experiment engine.
+//
+// Work is decomposed at (matrix, format) granularity onto a work-stealing
+// thread pool: each matrix contributes one prerequisite task (the float128
+// reference solve) which, on success, fans out one task per format sharing
+// the cached reference and start vector. Compared with the former
+// one-OpenMP-loop-over-matrices design, a single slow reference solve or a
+// skewed corpus no longer serializes the tail: format runs of one matrix
+// proceed while another matrix's reference is still being solved.
+//
+// Determinism: every run depends only on (matrix, config). The start vector
+// comes from an RNG stream seeded by the matrix name, results are written
+// into preallocated (matrix, format) slots, and the output ordering is the
+// dataset/format-list ordering — so results are bit-identical for any
+// thread count and any scheduling interleaving.
+//
+// Durability: with a checkpoint path set, every completed run is appended
+// to a JSONL journal (core/results_io.hpp) and flushed; on --resume the
+// journal is replayed and only missing runs are scheduled. A matrix whose
+// runs are all journaled does not even recompute its reference.
+#include "core/experiment.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "arith/quad.hpp"
+#include "core/results_io.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mfla {
+
+ReferenceSolution compute_reference(const TestMatrix& tm, const ExperimentConfig& cfg,
+                                    const std::vector<double>& start) {
+  ReferenceSolution ref;
+  const CsrMatrix<Quad> aq = tm.matrix.convert<Quad>();
+  PartialSchurOptions opts;
+  opts.nev = cfg.nev + cfg.buffer;
+  opts.which = cfg.which;
+  opts.tolerance = 1e-20;
+  opts.max_restarts = cfg.reference_max_restarts;
+  opts.start_vector = &start;
+  const auto r = partialschur<Quad>(aq, opts);
+  if (!r.converged) {
+    ref.failure = r.failure.empty() ? "reference did not converge" : r.failure;
+    return ref;
+  }
+  const std::size_t k = cfg.nev + cfg.buffer;
+  ref.values.assign(r.eig_re.begin(), r.eig_re.begin() + static_cast<long>(k));
+  ref.vectors = DenseMatrix<double>(tm.n(), k);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < tm.n(); ++i)
+      ref.vectors(i, j) = NumTraits<Quad>::to_double(r.q(i, j));
+  ref.ok = true;
+  return ref;
+}
+
+FormatRun run_format_dynamic(const TestMatrix& tm, const ReferenceSolution& ref,
+                             const ExperimentConfig& cfg, const std::vector<double>& start,
+                             FormatId id) {
+  return dispatch_format(id, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_format<T>(tm, ref, cfg, start, id);
+  });
+}
+
+MatrixResult run_matrix(const TestMatrix& tm, const std::vector<FormatId>& formats,
+                        const ExperimentConfig& cfg) {
+  MatrixResult res;
+  res.name = tm.name;
+  res.klass = tm.klass;
+  res.category = tm.category;
+  res.n = tm.n();
+  res.nnz = tm.nnz();
+
+  Rng rng(tm.name, cfg.seed);
+  const std::vector<double> start = rng.unit_vector(tm.n());
+
+  const ReferenceSolution ref = compute_reference(tm, cfg, start);
+  res.reference_ok = ref.ok;
+  res.reference_failure = ref.failure;
+  if (!ref.ok) return res;
+
+  res.runs.reserve(formats.size());
+  for (const FormatId id : formats) {
+    res.runs.push_back(run_format_dynamic(tm, ref, cfg, start, id));
+  }
+  return res;
+}
+
+namespace {
+
+/// Mutable per-sweep state shared by the scheduled tasks.
+struct EngineState {
+  // slots[i][j] is written by at most one task. done[i][j] marks slots
+  // filled from the journal during resume (consumed before scheduling).
+  std::vector<std::vector<FormatRun>> slots;
+  std::vector<std::vector<char>> done;
+  std::vector<char> ref_failed;
+  std::vector<std::string> ref_failures;
+
+  std::unique_ptr<JournalWriter> journal;
+
+  std::atomic<std::size_t> completed{0};
+  std::size_t total = 0;
+  std::chrono::steady_clock::time_point t0;
+  std::mutex progress_mtx;
+
+  void report(const std::function<void(const ExperimentProgress&)>& cb, std::size_t add) {
+    if (!cb) {
+      completed.fetch_add(add, std::memory_order_relaxed);
+      return;
+    }
+    // Increment and snapshot under the lock so callbacks see a
+    // monotonically increasing done count.
+    std::lock_guard<std::mutex> lk(progress_mtx);
+    ExperimentProgress p;
+    p.done = completed.fetch_add(add, std::memory_order_relaxed) + add;
+    p.total = total;
+    p.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    cb(p);
+  }
+};
+
+std::string meta_mismatch_message(const JournalMeta& found, const JournalMeta& expected) {
+  std::string msg =
+      "checkpoint journal was written by a different sweep "
+      "(nev/buffer/restarts/seed/formats/corpus size differ); ";
+  msg += "expected formats [" + expected.formats + "] over " +
+         std::to_string(expected.matrix_count) + " matrices, found [" + found.formats +
+         "] over " + std::to_string(found.matrix_count) +
+         " — rerun without --resume to start over";
+  return msg;
+}
+
+}  // namespace
+
+std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
+                                         const std::vector<FormatId>& formats,
+                                         const ExperimentConfig& cfg,
+                                         const ScheduleOptions& sched) {
+  const std::size_t nm = dataset.size();
+  const std::size_t nf = formats.size();
+
+  EngineState st;
+  st.slots.assign(nm, std::vector<FormatRun>(nf));
+  st.done.assign(nm, std::vector<char>(nf, 0));
+  st.ref_failed.assign(nm, 0);
+  st.ref_failures.resize(nm);
+
+  std::map<std::string, std::size_t> matrix_index;
+  const bool checkpointing = !sched.checkpoint_path.empty();
+  if (checkpointing) {
+    for (std::size_t i = 0; i < nm; ++i) {
+      if (!matrix_index.emplace(dataset[i].name, i).second)
+        throw std::runtime_error("checkpointing requires unique matrix names; duplicate '" +
+                                 dataset[i].name + "'");
+    }
+    std::map<FormatId, std::size_t> format_index;
+    for (std::size_t j = 0; j < nf; ++j) format_index.emplace(formats[j], j);
+
+    const JournalMeta meta = make_journal_meta(cfg, formats, nm);
+    bool journal_has_meta = false;
+    if (sched.resume) {
+      const JournalContents jc = read_journal(sched.checkpoint_path);
+      if (jc.has_meta && !(jc.meta == meta))
+        throw std::runtime_error(meta_mismatch_message(jc.meta, meta));
+      journal_has_meta = jc.has_meta;
+      // Entries whose matrix name is unknown, or whose recorded dimensions
+      // no longer match the dataset (the matrix changed on disk since the
+      // journal was written), are ignored: those runs recompute.
+      for (const auto& [name, rf] : jc.reference_failures) {
+        const auto it = matrix_index.find(name);
+        if (it == matrix_index.end()) continue;
+        const TestMatrix& tm = dataset[it->second];
+        if (rf.n != tm.n() || rf.nnz != tm.nnz()) continue;
+        st.ref_failed[it->second] = 1;
+        st.ref_failures[it->second] = rf.failure;
+      }
+      for (const auto& [key, jr] : jc.runs) {
+        const auto mi = matrix_index.find(key.first);
+        const auto fi = format_index.find(key.second);
+        if (mi == matrix_index.end() || fi == format_index.end()) continue;
+        const TestMatrix& tm = dataset[mi->second];
+        if (jr.n != tm.n() || jr.nnz != tm.nnz()) continue;
+        st.slots[mi->second][fi->second] = jr.run;
+        st.done[mi->second][fi->second] = 1;
+      }
+    }
+    st.journal = std::make_unique<JournalWriter>(sched.checkpoint_path, /*truncate=*/!sched.resume);
+    // Also (re)write the meta when resuming a journal whose meta line was
+    // torn by a crash during the very first write — otherwise the journal
+    // would never regain one and later resumes would skip validation.
+    if (!sched.resume || !journal_has_meta) st.journal->write_meta(meta);
+  }
+
+  // Pending work per matrix: format indices still to run. A matrix with a
+  // journaled reference failure or with every format journaled needs no
+  // reference solve at all.
+  std::vector<std::vector<std::size_t>> pending(nm);
+  for (std::size_t i = 0; i < nm; ++i) {
+    if (st.ref_failed[i]) continue;
+    for (std::size_t j = 0; j < nf; ++j) {
+      if (!st.done[i][j]) pending[i].push_back(j);
+    }
+    st.total += pending[i].size();
+  }
+  st.t0 = std::chrono::steady_clock::now();
+
+  if (st.total > 0) {
+    ThreadPool pool(sched.threads);
+    for (std::size_t i = 0; i < nm; ++i) {
+      if (pending[i].empty()) continue;
+      pool.submit([&pool, &st, &dataset, &formats, &cfg, &sched, &pending, i] {
+        const TestMatrix& tm = dataset[i];
+        Rng rng(tm.name, cfg.seed);
+        auto start = std::make_shared<const std::vector<double>>(rng.unit_vector(tm.n()));
+        auto ref = std::make_shared<const ReferenceSolution>(compute_reference(tm, cfg, *start));
+        if (!ref->ok) {
+          st.ref_failed[i] = 1;
+          st.ref_failures[i] = ref->failure;
+          if (st.journal)
+            st.journal->write_reference_failure(tm.name, tm.n(), tm.nnz(), ref->failure);
+          st.report(sched.on_progress, pending[i].size());
+          return;
+        }
+        for (const std::size_t j : pending[i]) {
+          pool.submit([&st, &dataset, &formats, &cfg, &sched, start, ref, i, j] {
+            const TestMatrix& tmj = dataset[i];
+            st.slots[i][j] = run_format_dynamic(tmj, *ref, cfg, *start, formats[j]);
+            if (st.journal) st.journal->write_run(tmj.name, tmj.n(), tmj.nnz(), st.slots[i][j]);
+            st.report(sched.on_progress, 1);
+          });
+        }
+      });
+    }
+    pool.wait_idle();  // rethrows the first task exception, if any
+  }
+
+  // Assemble in dataset/format order, independent of completion order.
+  std::vector<MatrixResult> results(nm);
+  for (std::size_t i = 0; i < nm; ++i) {
+    MatrixResult& res = results[i];
+    res.name = dataset[i].name;
+    res.klass = dataset[i].klass;
+    res.category = dataset[i].category;
+    res.n = dataset[i].n();
+    res.nnz = dataset[i].nnz();
+    if (st.ref_failed[i]) {
+      res.reference_ok = false;
+      res.reference_failure = st.ref_failures[i];
+      continue;
+    }
+    res.reference_ok = true;
+    res.runs = std::move(st.slots[i]);
+  }
+  return results;
+}
+
+std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
+                                         const std::vector<FormatId>& formats,
+                                         const ExperimentConfig& cfg) {
+  return run_experiment(dataset, formats, cfg, ScheduleOptions{});
+}
+
+}  // namespace mfla

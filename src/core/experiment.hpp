@@ -7,11 +7,18 @@
 //      and compute relative L2 errors over the first nev pairs,
 //   3. classify the outcome (ok / ∞ω / ∞σ).
 //
-// Matrices are processed in parallel with OpenMP (each matrix is fully
-// independent; the RNG streams are derived from matrix names).
+// Execution engine (experiment.cpp): work is scheduled on a work-stealing
+// thread pool at (matrix, format) granularity. The float128 reference solve
+// is a per-matrix prerequisite task whose result is cached and shared by all
+// format runs of that matrix. Completed runs can be journaled to a JSONL
+// checkpoint (core/results_io.hpp) so an interrupted sweep resumes with only
+// the missing runs. Results are bit-identical for any thread count: every
+// run depends only on (matrix, config) — the start vector comes from an RNG
+// stream derived from the matrix name, never from scheduling order.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -65,30 +72,9 @@ struct ReferenceSolution {
 };
 
 /// Reference solve in float128 with the paper's 1e-20 tolerance.
-inline ReferenceSolution compute_reference(const TestMatrix& tm, const ExperimentConfig& cfg,
-                                           const std::vector<double>& start) {
-  ReferenceSolution ref;
-  const CsrMatrix<Quad> aq = tm.matrix.convert<Quad>();
-  PartialSchurOptions opts;
-  opts.nev = cfg.nev + cfg.buffer;
-  opts.which = cfg.which;
-  opts.tolerance = 1e-20;
-  opts.max_restarts = cfg.reference_max_restarts;
-  opts.start_vector = &start;
-  const auto r = partialschur<Quad>(aq, opts);
-  if (!r.converged) {
-    ref.failure = r.failure.empty() ? "reference did not converge" : r.failure;
-    return ref;
-  }
-  const std::size_t k = cfg.nev + cfg.buffer;
-  ref.values.assign(r.eig_re.begin(), r.eig_re.begin() + static_cast<long>(k));
-  ref.vectors = DenseMatrix<double>(tm.n(), k);
-  for (std::size_t j = 0; j < k; ++j)
-    for (std::size_t i = 0; i < tm.n(); ++i)
-      ref.vectors(i, j) = NumTraits<Quad>::to_double(r.q(i, j));
-  ref.ok = true;
-  return ref;
-}
+[[nodiscard]] ReferenceSolution compute_reference(const TestMatrix& tm,
+                                                  const ExperimentConfig& cfg,
+                                                  const std::vector<double>& start);
 
 /// One format evaluation against a prepared reference.
 template <typename T>
@@ -146,44 +132,49 @@ FormatRun run_format(const TestMatrix& tm, const ReferenceSolution& ref,
   return run;
 }
 
-/// Evaluate one matrix across a format list.
-inline MatrixResult run_matrix(const TestMatrix& tm, const std::vector<FormatId>& formats,
-                               const ExperimentConfig& cfg) {
-  MatrixResult res;
-  res.name = tm.name;
-  res.klass = tm.klass;
-  res.category = tm.category;
-  res.n = tm.n();
-  res.nnz = tm.nnz();
+/// Run one format identified at runtime (dispatches to run_format<T>).
+[[nodiscard]] FormatRun run_format_dynamic(const TestMatrix& tm, const ReferenceSolution& ref,
+                                           const ExperimentConfig& cfg,
+                                           const std::vector<double>& start, FormatId id);
 
-  Rng rng(tm.name, cfg.seed);
-  const std::vector<double> start = rng.unit_vector(tm.n());
+/// Evaluate one matrix across a format list (reference solve + all formats,
+/// sequentially on the calling thread).
+[[nodiscard]] MatrixResult run_matrix(const TestMatrix& tm, const std::vector<FormatId>& formats,
+                                      const ExperimentConfig& cfg);
 
-  const ReferenceSolution ref = compute_reference(tm, cfg, start);
-  res.reference_ok = ref.ok;
-  res.reference_failure = ref.failure;
-  if (!ref.ok) return res;
+/// Progress snapshot handed to ScheduleOptions::on_progress after every
+/// completed format run (and after a reference failure retires a matrix).
+struct ExperimentProgress {
+  std::size_t done = 0;     // format runs completed (or retired) so far
+  std::size_t total = 0;    // format runs this invocation has to produce
+  double elapsed_seconds = 0.0;
+};
 
-  res.runs.reserve(formats.size());
-  for (const FormatId id : formats) {
-    res.runs.push_back(dispatch_format(id, [&](auto tag) {
-      using T = typename decltype(tag)::type;
-      return run_format<T>(tm, ref, cfg, start, id);
-    }));
-  }
-  return res;
-}
+/// Engine knobs, orthogonal to the numerical ExperimentConfig.
+struct ScheduleOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// JSONL journal path; empty disables checkpointing. Requires unique
+  /// matrix names in the dataset.
+  std::string checkpoint_path;
+  /// Reuse runs recorded in checkpoint_path instead of recomputing them.
+  /// The journal's meta line must match the current config/formats/dataset
+  /// (throws std::runtime_error otherwise). Without this flag an existing
+  /// checkpoint file is truncated and the sweep starts from scratch.
+  bool resume = false;
+  /// Invoked (serialized) after each completed run; default: silent.
+  std::function<void(const ExperimentProgress&)> on_progress;
+};
 
-/// Evaluate a whole dataset (OpenMP-parallel across matrices).
-inline std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
-                                                const std::vector<FormatId>& formats,
-                                                const ExperimentConfig& cfg = {}) {
-  std::vector<MatrixResult> results(dataset.size());
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t i = 0; i < dataset.size(); ++i) {  // NOLINT(modernize-loop-convert)
-    results[i] = run_matrix(dataset[i], formats, cfg);
-  }
-  return results;
-}
+/// Evaluate a whole dataset on the task-parallel engine.
+[[nodiscard]] std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
+                                                       const std::vector<FormatId>& formats,
+                                                       const ExperimentConfig& cfg,
+                                                       const ScheduleOptions& sched);
+
+/// Convenience overload: default engine options (all cores, no checkpoint).
+[[nodiscard]] std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
+                                                       const std::vector<FormatId>& formats,
+                                                       const ExperimentConfig& cfg = {});
 
 }  // namespace mfla

@@ -22,9 +22,13 @@ void ensure_directory(const std::string& path) {
   }
 }
 
-void write_distribution_csv(const std::string& path, const std::vector<Distribution>& series) {
+void ensure_parent_directory(const std::string& path) {
   const auto slash = path.find_last_of('/');
   if (slash != std::string::npos) ensure_directory(path.substr(0, slash));
+}
+
+void write_distribution_csv(const std::string& path, const std::vector<Distribution>& series) {
+  ensure_parent_directory(path);
   std::ofstream out(path);
   out << "percentile";
   for (const auto& s : series) out << ',' << s.format_name;

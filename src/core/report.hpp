@@ -28,4 +28,7 @@ void write_distribution_csv(const std::string& path, const std::vector<Distribut
 /// Ensure the output directory exists (best-effort mkdir -p).
 void ensure_directory(const std::string& path);
 
+/// Ensure the directory containing `path` exists (no-op for bare names).
+void ensure_parent_directory(const std::string& path);
+
 }  // namespace mfla

@@ -1,5 +1,9 @@
 #include "core/results_io.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -45,8 +49,7 @@ std::vector<std::string> split_csv(const std::string& line) {
 }  // namespace
 
 void write_results_csv(const std::string& path, const std::vector<MatrixResult>& results) {
-  const auto slash = path.find_last_of('/');
-  if (slash != std::string::npos) ensure_directory(path.substr(0, slash));
+  ensure_parent_directory(path);
   std::ofstream out(path);
   out.precision(17);
   out << "matrix,class,category,n,nnz,format,outcome,eig_abs,eig_rel,vec_abs,vec_rel,"
@@ -112,6 +115,332 @@ std::vector<MatrixResult> read_results_csv(const std::string& path) {
     mr.runs.push_back(run);
   }
   return results;
+}
+
+// ---------------------------------------------------------------------------
+// JSONL checkpoint journal
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Flat one-line JSON object builder (scalar values only).
+class JsonLine {
+ public:
+  JsonLine& str(const char* key, const std::string& v) {
+    next(key);
+    append_json_escaped(s_, v);
+    return *this;
+  }
+  JsonLine& num(const char* key, double v) {
+    next(key);
+    if (std::isnan(v)) {
+      s_ += "NaN";
+    } else if (std::isinf(v)) {
+      s_ += v > 0 ? "Infinity" : "-Infinity";
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      s_ += buf;
+    }
+    return *this;
+  }
+  JsonLine& uint(const char* key, std::uint64_t v) {
+    next(key);
+    s_ += std::to_string(v);
+    return *this;
+  }
+  JsonLine& integer(const char* key, long long v) {
+    next(key);
+    s_ += std::to_string(v);
+    return *this;
+  }
+  [[nodiscard]] std::string finish() {
+    s_ += '}';
+    return std::move(s_);
+  }
+
+ private:
+  void next(const char* key) {
+    s_ += s_.size() > 1 ? "," : "";
+    append_json_escaped(s_, key);
+    s_ += ':';
+  }
+  std::string s_ = "{";
+};
+
+/// Minimal parser for the flat objects JsonLine emits: string keys, scalar
+/// values (strings are unescaped; numbers/booleans kept as raw tokens).
+/// Returns false on anything malformed — the journal reader treats that as
+/// a torn line.
+bool parse_json_line(const std::string& line, std::map<std::string, std::string>& out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  auto parse_string = [&](std::string& s) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    s.clear();
+    while (i < line.size() && line[i] != '"') {
+      char c = line[i];
+      if (c == '\\') {
+        if (++i >= line.size()) return false;
+        switch (line[i]) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (i + 4 >= line.size()) return false;
+            char* end = nullptr;
+            const std::string hex = line.substr(i + 1, 4);
+            const unsigned long cp = std::strtoul(hex.c_str(), &end, 16);
+            if (end == nullptr || *end != '\0' || cp > 0xff) return false;  // we only emit \u00xx
+            c = static_cast<char>(cp);
+            i += 4;
+            break;
+          }
+          default: return false;
+        }
+      }
+      s += c;
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return true;
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(key)) return false;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(value)) return false;
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}') value += line[i++];
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) value.pop_back();
+      if (value.empty()) return false;
+    }
+    out[key] = value;
+    skip_ws();
+    if (i >= line.size()) return false;
+    if (line[i] == '}') return true;
+    if (line[i] != ',') return false;
+    ++i;
+  }
+}
+
+double field_num(const std::map<std::string, std::string>& obj, const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::invalid_argument(std::string("missing field ") + key);
+  // strtod accepts the inf/nan spellings %.17g produces and also
+  // "Infinity"/"NaN" (as the INF/NAN prefixes are case-insensitive).
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) throw std::invalid_argument(std::string("bad number in ") + key);
+  return v;
+}
+
+std::uint64_t field_u64(const std::map<std::string, std::string>& obj, const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::invalid_argument(std::string("missing field ") + key);
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || errno == ERANGE)
+    throw std::invalid_argument(std::string("bad integer in ") + key);
+  return v;
+}
+
+std::string field_str(const std::map<std::string, std::string>& obj, const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::invalid_argument(std::string("missing field ") + key);
+  return it->second;
+}
+
+}  // namespace
+
+JournalMeta make_journal_meta(const ExperimentConfig& cfg, const std::vector<FormatId>& formats,
+                              std::size_t matrix_count) {
+  JournalMeta m;
+  m.nev = cfg.nev;
+  m.buffer = cfg.buffer;
+  m.which = static_cast<int>(cfg.which);
+  m.max_restarts = cfg.max_restarts;
+  m.reference_max_restarts = cfg.reference_max_restarts;
+  m.seed = cfg.seed;
+  for (const FormatId id : formats) {
+    if (!m.formats.empty()) m.formats += ',';
+    m.formats += format_info(id).name;
+  }
+  m.matrix_count = matrix_count;
+  return m;
+}
+
+JournalWriter::JournalWriter(const std::string& path, bool truncate) {
+  ensure_parent_directory(path);
+  // A sweep killed mid-write can leave a torn final line without a newline;
+  // terminate it before appending so the next record starts on its own line
+  // (the reader skips the torn fragment).
+  bool needs_newline = false;
+  if (!truncate) {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe && probe.tellg() > std::ifstream::pos_type(0)) {
+      probe.seekg(-1, std::ios::end);
+      needs_newline = probe.get() != '\n';
+    }
+  }
+  const auto mode = truncate ? std::ios::out | std::ios::trunc : std::ios::out | std::ios::app;
+  out_.open(path, mode);
+  if (!out_) throw std::runtime_error("journal: cannot open '" + path + "' for writing");
+  if (needs_newline) out_ << '\n';
+}
+
+void JournalWriter::append_line(const std::string& line) {
+  std::lock_guard<std::mutex> lk(mtx_);
+  out_ << line << '\n';
+  out_.flush();
+  // Surface write failures (e.g. disk full) instead of silently dropping
+  // checkpoint records — the engine propagates this out of run_experiment.
+  if (!out_) throw std::runtime_error("journal: write failed (disk full or file removed?)");
+}
+
+void JournalWriter::write_meta(const JournalMeta& meta) {
+  JsonLine j;
+  j.str("type", "meta")
+      .integer("version", 1)
+      .uint("nev", meta.nev)
+      .uint("buffer", meta.buffer)
+      .integer("which", meta.which)
+      .integer("restarts", meta.max_restarts)
+      .integer("ref_restarts", meta.reference_max_restarts)
+      .uint("seed", meta.seed)
+      .str("formats", meta.formats)
+      .uint("matrices", meta.matrix_count);
+  append_line(j.finish());
+}
+
+void JournalWriter::write_reference_failure(const std::string& matrix, std::size_t n,
+                                            std::size_t nnz, const std::string& failure) {
+  JsonLine j;
+  j.str("type", "reference").str("matrix", matrix).uint("n", n).uint("nnz", nnz).str("failure",
+                                                                                     failure);
+  append_line(j.finish());
+}
+
+void JournalWriter::write_run(const std::string& matrix, std::size_t n, std::size_t nnz,
+                              const FormatRun& run) {
+  JsonLine j;
+  j.str("type", "run")
+      .str("matrix", matrix)
+      .uint("n", n)
+      .uint("nnz", nnz)
+      .str("format", format_info(run.format).name)
+      .str("outcome", outcome_name(run.outcome))
+      .num("eig_abs", run.eigenvalue_error.absolute)
+      .num("eig_rel", run.eigenvalue_error.relative)
+      .num("vec_abs", run.eigenvector_error.absolute)
+      .num("vec_rel", run.eigenvector_error.relative)
+      .num("similarity", run.mean_similarity)
+      .uint("nconv", run.nconverged)
+      .integer("restarts", run.restarts)
+      .uint("matvecs", run.matvecs)
+      .str("failure", run.failure);
+  append_line(j.finish());
+}
+
+JournalContents read_journal(const std::string& path) {
+  JournalContents jc;
+  std::ifstream in(path);
+  if (!in) return jc;  // no journal yet: nothing to resume
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::map<std::string, std::string> obj;
+    if (!parse_json_line(line, obj)) {
+      ++jc.skipped_lines;  // torn final write of a killed sweep
+      continue;
+    }
+    try {
+      const std::string type = field_str(obj, "type");
+      if (type == "meta") {
+        jc.meta.nev = field_u64(obj, "nev");
+        jc.meta.buffer = field_u64(obj, "buffer");
+        jc.meta.which = static_cast<int>(field_u64(obj, "which"));
+        jc.meta.max_restarts = static_cast<int>(field_u64(obj, "restarts"));
+        jc.meta.reference_max_restarts = static_cast<int>(field_u64(obj, "ref_restarts"));
+        jc.meta.seed = field_u64(obj, "seed");
+        jc.meta.formats = field_str(obj, "formats");
+        jc.meta.matrix_count = field_u64(obj, "matrices");
+        jc.has_meta = true;
+      } else if (type == "reference") {
+        JournalReferenceFailure rf;
+        rf.failure = field_str(obj, "failure");
+        rf.n = field_u64(obj, "n");
+        rf.nnz = field_u64(obj, "nnz");
+        jc.reference_failures.insert_or_assign(field_str(obj, "matrix"), rf);
+      } else if (type == "run") {
+        JournalRun jr;
+        jr.n = field_u64(obj, "n");
+        jr.nnz = field_u64(obj, "nnz");
+        FormatRun& run = jr.run;
+        run.format = format_from_name(field_str(obj, "format"));
+        run.outcome = outcome_from_name(field_str(obj, "outcome"));
+        run.eigenvalue_error.absolute = field_num(obj, "eig_abs");
+        run.eigenvalue_error.relative = field_num(obj, "eig_rel");
+        run.eigenvector_error.absolute = field_num(obj, "vec_abs");
+        run.eigenvector_error.relative = field_num(obj, "vec_rel");
+        run.mean_similarity = field_num(obj, "similarity");
+        run.nconverged = field_u64(obj, "nconv");
+        run.restarts = static_cast<int>(field_num(obj, "restarts"));
+        run.matvecs = field_u64(obj, "matvecs");
+        run.failure = field_str(obj, "failure");
+        jc.runs.insert_or_assign({field_str(obj, "matrix"), run.format}, jr);
+      } else {
+        ++jc.skipped_lines;  // unknown record type (newer writer?)
+      }
+    } catch (const std::invalid_argument&) {
+      ++jc.skipped_lines;
+    }
+  }
+  return jc;
 }
 
 }  // namespace mfla

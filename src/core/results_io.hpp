@@ -1,9 +1,25 @@
-// Persistence of raw experiment results: one CSV row per (matrix, format)
-// run with outcome, errors and solver statistics — the MuFoLAB-style raw
-// data behind the figures, so distributions can be re-binned offline.
+// Persistence of raw experiment results.
+//
+//  * CSV: one row per (matrix, format) run with outcome, errors and solver
+//    statistics — the MuFoLAB-style raw data behind the figures, so
+//    distributions can be re-binned offline.
+//  * JSONL journal: the experiment engine's durable checkpoint. One line is
+//    appended (and flushed) per completed event — a `meta` header describing
+//    the sweep, a `run` line per finished (matrix, format) evaluation, and a
+//    `reference` line per failed float128 reference solve. A sweep killed
+//    mid-flight leaves at worst one torn final line, which the reader skips;
+//    `--resume` then replays the journal and schedules only the missing
+//    runs. Values round-trip exactly (%.17g; non-finite values are written
+//    as Infinity/-Infinity/NaN, which both our reader and Python's json
+//    module accept).
 #pragma once
 
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -21,5 +37,76 @@ void write_results_csv(const std::string& path, const std::vector<MatrixResult>&
 
 [[nodiscard]] const char* outcome_name(RunOutcome o) noexcept;
 [[nodiscard]] RunOutcome outcome_from_name(const std::string& s);
+
+// ---------------------------------------------------------------------------
+// JSONL checkpoint journal
+// ---------------------------------------------------------------------------
+
+/// Identity of a sweep; a journal may only be resumed by an invocation with
+/// an identical meta (same numerical config, format list and corpus size).
+struct JournalMeta {
+  std::size_t nev = 0;
+  std::size_t buffer = 0;
+  int which = 0;  // static_cast<int>(ExperimentConfig::which)
+  int max_restarts = 0;
+  int reference_max_restarts = 0;
+  std::uint64_t seed = 0;
+  std::string formats;  // comma-joined format names in run order
+  std::size_t matrix_count = 0;
+
+  friend bool operator==(const JournalMeta&, const JournalMeta&) = default;
+};
+
+[[nodiscard]] JournalMeta make_journal_meta(const ExperimentConfig& cfg,
+                                            const std::vector<FormatId>& formats,
+                                            std::size_t matrix_count);
+
+/// Append-only journal writer. Thread-safe; every line is flushed so a
+/// killed process loses at most the line being written.
+class JournalWriter {
+ public:
+  /// Opens `path` (creating parent directories). With truncate=false the
+  /// file is opened for append (healing a torn final line first).
+  JournalWriter(const std::string& path, bool truncate);
+
+  void write_meta(const JournalMeta& meta);
+  void write_reference_failure(const std::string& matrix, std::size_t n, std::size_t nnz,
+                               const std::string& failure);
+  void write_run(const std::string& matrix, std::size_t n, std::size_t nnz,
+                 const FormatRun& run);
+
+ private:
+  void append_line(const std::string& line);
+
+  std::ofstream out_;
+  std::mutex mtx_;
+};
+
+/// A journaled per-format run, stamped with the matrix dimensions so a
+/// resume can reject entries for a matrix whose contents changed on disk.
+struct JournalRun {
+  FormatRun run;
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+};
+
+struct JournalReferenceFailure {
+  std::string failure;
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+};
+
+/// Everything a journal recorded, keyed for resume lookups. Torn or
+/// otherwise unparseable lines are counted, not fatal.
+struct JournalContents {
+  bool has_meta = false;
+  JournalMeta meta;
+  std::map<std::string, JournalReferenceFailure> reference_failures;  // by matrix name
+  std::map<std::pair<std::string, FormatId>, JournalRun> runs;
+  std::size_t skipped_lines = 0;
+};
+
+/// Read a journal; a missing file yields empty contents.
+[[nodiscard]] JournalContents read_journal(const std::string& path);
 
 }  // namespace mfla

@@ -1,0 +1,188 @@
+// Work-stealing thread pool used by the experiment engine.
+//
+// Each worker owns a deque: it pops its own tasks from the front (so a
+// single-threaded pool executes external submissions in submission order)
+// and steals from the back of other workers' deques when its own runs dry.
+// External submissions are distributed round-robin; submissions made from
+// inside a worker land on that worker's own deque (the common case for
+// dependent tasks, e.g. the per-format runs spawned once a reference solve
+// completes — they stay local unless another worker is idle and steals).
+//
+// Error handling: `async` returns a std::future that carries the task's
+// exception; for fire-and-forget `submit`, the first exception thrown by a
+// task is captured and rethrown from the next `wait_idle()` call (the pool
+// stays usable afterwards). The destructor drains every queued task before
+// joining.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mfla {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    queues_.resize(threads);
+    for (std::size_t i = 0; i < threads; ++i) queues_[i] = std::make_unique<Queue>();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains all queued tasks (including tasks submitted by running tasks),
+  /// then joins the workers. Pending submit() errors are swallowed.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(signal_mtx_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Safe to call concurrently and from inside tasks.
+  void submit(std::function<void()> task) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t target = this_pool_ == this
+                                   ? this_worker_
+                                   : next_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    {
+      // Increment queued_ under the same queue mutex that guards the push:
+      // a pop of this task (which decrements) must acquire this mutex first,
+      // so the counter can never underflow.
+      std::lock_guard<std::mutex> lk(queues_[target]->mtx);
+      queued_.fetch_add(1, std::memory_order_release);
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+    // Fence against a worker that checked the wait predicate before the
+    // increment and has not started waiting yet (lost-wakeup race).
+    {
+      std::lock_guard<std::mutex> lk(signal_mtx_);
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Enqueue a task and get its result (or exception) as a future.
+  template <class F>
+  [[nodiscard]] auto async(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Block until every submitted task (including nested submissions) has
+  /// finished. Rethrows the first exception thrown by a submit() task since
+  /// the previous wait_idle(), if any.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lk(signal_mtx_);
+    idle_cv_.wait(lk, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+    if (first_error_) {
+      std::exception_ptr err;
+      std::swap(err, first_error_);
+      lk.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  struct Queue {
+    std::mutex mtx;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  // Which pool (if any) owns the current thread, and its worker index there.
+  static thread_local const ThreadPool* this_pool_;
+  static thread_local std::size_t this_worker_;
+
+  bool try_pop(std::size_t index, bool own, std::function<void()>& out) {
+    Queue& q = *queues_[index];
+    std::lock_guard<std::mutex> lk(q.mtx);
+    if (q.tasks.empty()) return false;
+    if (own) {  // owner: FIFO from the front
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    } else {  // thief: steal from the back
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    }
+    queued_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+
+  bool find_task(std::size_t self, std::function<void()>& out) {
+    if (try_pop(self, true, out)) return true;
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+      if (try_pop((self + k) % queues_.size(), false, out)) return true;
+    }
+    return false;
+  }
+
+  void run_task(std::function<void()>& task) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(signal_mtx_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    task = nullptr;  // release captures before signalling idle
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(signal_mtx_);
+      idle_cv_.notify_all();
+    }
+  }
+
+  void worker_loop(std::size_t self) {
+    this_pool_ = this;
+    this_worker_ = self;
+    std::function<void()> task;
+    while (true) {
+      if (find_task(self, task)) {
+        run_task(task);
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(signal_mtx_);
+      work_cv_.wait(lk, [this] {
+        return stop_ || queued_.load(std::memory_order_acquire) > 0;
+      });
+      if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
+    }
+  }
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex signal_mtx_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::exception_ptr first_error_;
+  std::atomic<std::size_t> pending_{0};  // submitted, not yet finished
+  std::atomic<std::size_t> queued_{0};   // sitting in a deque
+  std::atomic<std::size_t> next_{0};     // round-robin cursor for external submits
+  bool stop_ = false;
+};
+
+inline thread_local const ThreadPool* ThreadPool::this_pool_ = nullptr;
+inline thread_local std::size_t ThreadPool::this_worker_ = 0;
+
+}  // namespace mfla

@@ -1,0 +1,142 @@
+// Thread pool tests: task ordering, nested submission, work stealing,
+// exception propagation (futures and wait_idle), concurrent submit, drain
+// on destruction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace mfla {
+namespace {
+
+TEST(ThreadPool, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  ThreadPool defaulted;
+  EXPECT_GE(defaulted.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex mtx;
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&order, &mtx, i] {
+      std::lock_guard<std::mutex> lk(mtx);
+      order.push_back(i);
+    });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ConcurrentSubmitRunsEveryTaskOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 250; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2000);
+}
+
+TEST(ThreadPool, NestedSubmissionCompletesBeforeWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&pool, &counter] {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&pool, &counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, IdleWorkersStealNestedWork) {
+  // All four inner tasks are submitted from one worker, so they land on its
+  // own deque; they rendezvous on a barrier that only clears once all four
+  // run concurrently — which requires the other three workers to steal.
+  // If stealing were broken this would hang (and trip the test timeout).
+  ThreadPool pool(4);
+  std::mutex mtx;
+  std::condition_variable cv;
+  int arrived = 0;
+  pool.submit([&] {
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&] {
+        std::unique_lock<std::mutex> lk(mtx);
+        ++arrived;
+        cv.notify_all();
+        cv.wait(lk, [&] { return arrived == 4; });
+      });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(arrived, 4);
+}
+
+TEST(ThreadPool, AsyncReturnsValues) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futs;
+  futs.reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.async([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, AsyncPropagatesException) {
+  ThreadPool pool(2);
+  auto fut = pool.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // A packaged-task exception must not leak into wait_idle().
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, WaitIdleRethrowsSubmitException) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::logic_error("fire-and-forget failure"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  EXPECT_EQ(counter.load(), 20);  // the failure does not cancel other tasks
+  // The error slot is cleared: the pool stays usable.
+  pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 21);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+}  // namespace
+}  // namespace mfla

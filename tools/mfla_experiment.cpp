@@ -2,16 +2,21 @@
 //
 // Run the multi-format eigenvalue experiment on your own matrices or on
 // the built-in corpora, and write the raw per-run results + cumulative
-// distributions as CSV.
+// distributions as CSV. Sweeps run on the task-parallel engine; with
+// --checkpoint every completed run is journaled so --resume restarts an
+// interrupted sweep with only the missing runs.
 //
 // Usage:
 //   mfla_experiment --corpus general|biological|infrastructure|social|miscellaneous
 //                   [--count N] [--nev K] [--buffer B] [--restarts R]
 //                   [--formats f16,bf16,p16,t16,...] [--out prefix]
+//                   [--threads N] [--checkpoint FILE] [--resume]
 //   mfla_experiment file1.mtx graph2.edges ...   (same options)
 //
 // Format keys: e4m3 e5m2 p8 t8 f16 bf16 p16 t16 f32 p32 t32 f64 p64 t64.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -36,6 +41,33 @@ const std::map<std::string, FormatId>& format_keys() {
   return keys;
 }
 
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mfla_experiment (--corpus NAME | files...) [--count N] [--nev K]\n"
+      "       [--buffer B] [--restarts R] [--formats keys] [--out prefix]\n"
+      "       [--threads N] [--checkpoint FILE] [--resume]\n");
+  std::exit(2);
+}
+
+/// Strict non-negative integer parse; anything else (garbage, trailing
+/// characters, negative values, overflow) is a usage error, not an
+/// uncaught std::invalid_argument from std::stoul.
+std::uint64_t parse_uint(const char* option, const std::string& value, std::uint64_t max) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  const bool bad = value.empty() || end != value.c_str() + value.size() ||
+                   value.find_first_not_of("0123456789") != std::string::npos ||
+                   errno == ERANGE || v > max;
+  if (bad) {
+    std::fprintf(stderr, "invalid value '%s' for %s (expected a non-negative integer <= %llu)\n",
+                 value.c_str(), option, static_cast<unsigned long long>(max));
+    usage();
+  }
+  return v;
+}
+
 std::vector<FormatId> parse_formats(const std::string& spec) {
   std::vector<FormatId> out;
   std::string token;
@@ -47,12 +79,22 @@ std::vector<FormatId> parse_formats(const std::string& spec) {
           std::fprintf(stderr, "unknown format key '%s'\n", token.c_str());
           std::exit(2);
         }
+        for (const FormatId seen : out) {
+          if (seen == it->second) {
+            std::fprintf(stderr, "duplicate format key '%s' in --formats\n", token.c_str());
+            std::exit(2);
+          }
+        }
         out.push_back(it->second);
         token.clear();
       }
     } else {
       token += spec[i];
     }
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--formats must name at least one format key\n");
+    std::exit(2);
   }
   return out;
 }
@@ -62,11 +104,36 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: mfla_experiment (--corpus NAME | files...) [--count N] [--nev K]\n"
-               "       [--buffer B] [--restarts R] [--formats keys] [--out prefix]\n");
-  std::exit(2);
+std::string format_eta(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto total = static_cast<long long>(seconds + 0.5);
+  char buf[32];
+  if (total >= 3600) {
+    std::snprintf(buf, sizeof buf, "%lldh%02lldm", total / 3600, (total % 3600) / 60);
+  } else if (total >= 60) {
+    std::snprintf(buf, sizeof buf, "%lldm%02llds", total / 60, total % 60);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llds", total);
+  }
+  return buf;
+}
+
+void print_progress(const ExperimentProgress& p) {
+  if (p.total == 0) return;
+  const double frac = static_cast<double>(p.done) / static_cast<double>(p.total);
+  std::string line = "runs " + std::to_string(p.done) + "/" + std::to_string(p.total);
+  char pct[16];
+  std::snprintf(pct, sizeof pct, " (%3.0f%%)", 100.0 * frac);
+  line += pct;
+  line += "  elapsed " + format_eta(p.elapsed_seconds);
+  if (p.done > 0 && p.done < p.total) {
+    const double eta =
+        p.elapsed_seconds * static_cast<double>(p.total - p.done) / static_cast<double>(p.done);
+    line += "  eta " + format_eta(eta);
+  }
+  std::fprintf(stderr, "\r%-60s", line.c_str());
+  if (p.done == p.total) std::fprintf(stderr, "\n");
+  std::fflush(stderr);
 }
 
 }  // namespace
@@ -78,24 +145,35 @@ int main(int argc, char** argv) {
   std::size_t count = 24;
   ExperimentConfig cfg;
   cfg.max_restarts = 80;
+  ScheduleOptions sched;
+  sched.on_progress = print_progress;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        usage();
+      }
       return argv[++i];
     };
     if (arg == "--corpus") {
       corpus = next();
     } else if (arg == "--count") {
-      count = static_cast<std::size_t>(std::stoul(next()));
+      count = static_cast<std::size_t>(parse_uint("--count", next(), 1000000));
     } else if (arg == "--nev") {
-      cfg.nev = static_cast<std::size_t>(std::stoul(next()));
+      cfg.nev = static_cast<std::size_t>(parse_uint("--nev", next(), 10000));
     } else if (arg == "--buffer") {
-      cfg.buffer = static_cast<std::size_t>(std::stoul(next()));
+      cfg.buffer = static_cast<std::size_t>(parse_uint("--buffer", next(), 10000));
     } else if (arg == "--restarts") {
-      cfg.max_restarts = std::stoi(next());
+      cfg.max_restarts = static_cast<int>(parse_uint("--restarts", next(), 1000000));
+    } else if (arg == "--threads") {
+      sched.threads = static_cast<std::size_t>(parse_uint("--threads", next(), 4096));
+    } else if (arg == "--checkpoint") {
+      sched.checkpoint_path = next();
+    } else if (arg == "--resume") {
+      sched.resume = true;
     } else if (arg == "--formats") {
       formats_spec = next();
     } else if (arg == "--out") {
@@ -110,6 +188,10 @@ int main(int argc, char** argv) {
     }
   }
   if (corpus.empty() && files.empty()) usage();
+  if (sched.resume && sched.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
+    usage();
+  }
 
   // Assemble the dataset.
   std::vector<TestMatrix> dataset;
@@ -145,10 +227,23 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<FormatId> formats = parse_formats(formats_spec);
-  std::printf("running %zu matrices x %zu formats (nev=%zu buffer=%zu restarts=%d)\n",
-              dataset.size(), formats.size(), cfg.nev, cfg.buffer, cfg.max_restarts);
+  const std::string threads_desc =
+      sched.threads == 0 ? "auto" : std::to_string(sched.threads);
+  std::printf("running %zu matrices x %zu formats (nev=%zu buffer=%zu restarts=%d threads=%s)\n",
+              dataset.size(), formats.size(), cfg.nev, cfg.buffer, cfg.max_restarts,
+              threads_desc.c_str());
+  if (!sched.checkpoint_path.empty()) {
+    std::printf("checkpoint journal: %s%s\n", sched.checkpoint_path.c_str(),
+                sched.resume ? " (resuming)" : "");
+  }
 
-  const auto results = run_experiment(dataset, formats, cfg);
+  std::vector<MatrixResult> results;
+  try {
+    results = run_experiment(dataset, formats, cfg, sched);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "\nerror: %s\n", e.what());
+    return 1;
+  }
 
   write_results_csv(out_prefix + "_raw.csv", results);
   for (const int bits : {8, 16, 32, 64}) {
