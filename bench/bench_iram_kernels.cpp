@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/arnoldi.hpp"
-#include "dense/blas.hpp"
+#include "kernels/vector_ops.hpp"
 #include "graph/generators.hpp"
 #include "graph/laplacian.hpp"
 #include "sparse/csr.hpp"
@@ -30,7 +30,7 @@ void BM_Dot(benchmark::State& state) {
   const auto x = random_vec<T>(n, 1);
   const auto y = random_vec<T>(n, 2);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dot(n, x.data(), y.data()));
+    benchmark::DoNotOptimize(kernels::dot(n, x.data(), y.data()));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
@@ -43,7 +43,7 @@ void BM_Axpy(benchmark::State& state) {
   auto y = random_vec<T>(n, 4);
   const T alpha = NumTraits<T>::from_double(0.37);
   for (auto _ : state) {
-    axpy(n, alpha, x.data(), y.data());
+    kernels::axpy(n, alpha, x.data(), y.data());
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

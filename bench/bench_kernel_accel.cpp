@@ -1,0 +1,123 @@
+// Exact-engine vs LUT fast-path throughput of the kernel layer
+// (kernels/accel.hpp) per format and width: dot, axpy and sparse matvec
+// for every accelerated format. The acceptance bar is a >= 3x speedup on
+// all three kernels for the four 8-bit formats; the 16-bit decode-table
+// paths are measured alongside for the performance trajectory.
+//
+// Exact timings use kernels::ref:: (always the exact engines); LUT timings
+// use the dispatching kernels with the runtime switch forced on. In an
+// MFLA_ENABLE_LUT=0 build the dispatching kernels equal ref::, so the
+// "Lut" series degenerates to a second exact measurement.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "kernels/accel.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/vector_ops.hpp"
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mfla;
+
+template <typename T>
+std::vector<T> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(NumTraits<T>::from_double(rng.normal()));
+  return v;
+}
+
+template <typename T>
+CsrMatrix<T> bench_matrix(std::size_t n) {
+  Rng rng("bench_kernel_accel", n);
+  const CooMatrix lap = graph_laplacian_pipeline(erdos_renyi(static_cast<std::uint32_t>(n),
+                                                             8.0 / static_cast<double>(n), rng));
+  return CsrMatrix<double>::from_coo(lap).convert<T>();
+}
+
+template <typename T, bool kLut>
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec<T>(n, 1);
+  const auto y = random_vec<T>(n, 2);
+  const bool prev = kernels::set_lut_enabled(kLut);
+  for (auto _ : state) {
+    if constexpr (kLut) {
+      benchmark::DoNotOptimize(kernels::dot(n, x.data(), y.data()));
+    } else {
+      benchmark::DoNotOptimize(kernels::ref::dot(n, x.data(), y.data()));
+    }
+  }
+  kernels::set_lut_enabled(prev);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+template <typename T, bool kLut>
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec<T>(n, 3);
+  auto y = random_vec<T>(n, 4);
+  const T alpha = NumTraits<T>::from_double(0.37);
+  const bool prev = kernels::set_lut_enabled(kLut);
+  for (auto _ : state) {
+    if constexpr (kLut) {
+      kernels::axpy(n, alpha, x.data(), y.data());
+    } else {
+      kernels::ref::axpy(n, alpha, x.data(), y.data());
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  kernels::set_lut_enabled(prev);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+template <typename T, bool kLut>
+void BM_SpMV(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = bench_matrix<T>(n);
+  const auto x = random_vec<T>(a.rows(), 5);
+  std::vector<T> y(a.rows());
+  const bool prev = kernels::set_lut_enabled(kLut);
+  for (auto _ : state) {
+    if constexpr (kLut) {
+      kernels::spmv(a.rows(), a.row_ptr().data(), a.col_idx().data(), a.values().data(),
+                    x.data(), y.data());
+    } else {
+      kernels::ref::spmv(a.rows(), a.row_ptr().data(), a.col_idx().data(), a.values().data(),
+                         x.data(), y.data());
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  kernels::set_lut_enabled(prev);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+
+#define MFLA_ACCEL_BENCH(T)                                          \
+  BENCHMARK_TEMPLATE(BM_Dot, T, false)->Name("Dot/exact/" #T)->Arg(4096);   \
+  BENCHMARK_TEMPLATE(BM_Dot, T, true)->Name("Dot/lut/" #T)->Arg(4096);      \
+  BENCHMARK_TEMPLATE(BM_Axpy, T, false)->Name("Axpy/exact/" #T)->Arg(4096); \
+  BENCHMARK_TEMPLATE(BM_Axpy, T, true)->Name("Axpy/lut/" #T)->Arg(4096);    \
+  BENCHMARK_TEMPLATE(BM_SpMV, T, false)->Name("SpMV/exact/" #T)->Arg(512);  \
+  BENCHMARK_TEMPLATE(BM_SpMV, T, true)->Name("SpMV/lut/" #T)->Arg(512)
+
+// The four 8-bit formats (acceptance: >= 3x on dot/axpy/spmv for all).
+MFLA_ACCEL_BENCH(OFP8E4M3);
+MFLA_ACCEL_BENCH(OFP8E5M2);
+MFLA_ACCEL_BENCH(Posit8);
+MFLA_ACCEL_BENCH(Takum8);
+// The four 16-bit formats (decode-table paths).
+MFLA_ACCEL_BENCH(Float16);
+MFLA_ACCEL_BENCH(BFloat16);
+MFLA_ACCEL_BENCH(Posit16);
+MFLA_ACCEL_BENCH(Takum16);
+
+}  // namespace

@@ -68,7 +68,11 @@ class SoftFloat {
     }
   }
   [[nodiscard]] static constexpr SoftFloat infinity() noexcept {
-    static_assert(F == Flavor::ieee || E >= 0, "finite_nan has no infinity");
+    // Dependent on F, so it fires exactly when a finite_nan instantiation
+    // calls infinity() (that flavor reuses the all-ones exponent encodings
+    // for finite values; the would-be infinity pattern is an ordinary
+    // number there).
+    static_assert(F == Flavor::ieee, "finite_nan formats have no infinity");
     return from_bits(static_cast<Storage>(mask(E) << M));
   }
   [[nodiscard]] static constexpr SoftFloat max_finite() noexcept {

@@ -179,14 +179,7 @@ class TaperedFloat {
   friend TaperedFloat operator*(TaperedFloat a, TaperedFloat b) noexcept {
     if (a.is_nar() || b.is_nar()) return nar();
     if (a.is_zero() || b.is_zero()) return zero();
-    const Unpacked x = a.unpack(), y = b.unpack();
-    u128 prod = static_cast<u128>(x.m) * y.m;  // in [2^126, 2^128)
-    const int t = 127 - clz_u128(prod);
-    prod <<= (127 - t);
-    const auto m = static_cast<std::uint64_t>(prod >> 64);
-    const bool g = (static_cast<std::uint64_t>(prod) >> 63) & 1;
-    const bool s = (static_cast<std::uint64_t>(prod) & ((1ull << 63) - 1)) != 0;
-    return make(x.neg != y.neg, x.e + y.e - 126 + t, m, g, s);
+    return mul_unpacked(a.unpack(), b.unpack());
   }
 
   friend TaperedFloat operator/(TaperedFloat a, TaperedFloat b) noexcept {
@@ -234,6 +227,53 @@ class TaperedFloat {
     return a.is_negative() ? -a : a;
   }
 
+  // -- Unpacked-operand cores ----------------------------------------------
+  // The arithmetic engines behind operator+/operator*, taking already
+  // decoded operands. Callers must have handled zero/NaR beforehand. The
+  // kernel layer's 16-bit fast path (kernels/accel.hpp) feeds these from a
+  // precomputed 65536-entry Unpacked table, so the fast path shares every
+  // instruction of the exact engine except the decode bit-twiddling.
+
+  /// Exact sum of two finite non-zero values (handles either sign).
+  [[nodiscard]] static TaperedFloat add_unpacked(Unpacked x, Unpacked y) noexcept {
+    if (x.e < y.e || (x.e == y.e && x.m < y.m)) {
+      const Unpacked t = x;
+      x = y;
+      y = t;
+    }
+    const bool effective_sub = x.neg != y.neg;
+    const u128 big = static_cast<u128>(x.m) << 63;  // headroom bit 127 free
+    bool sticky = false;
+    const u128 small = shift_right_sticky(static_cast<u128>(y.m) << 63, x.e - y.e, sticky);
+    u128 r;
+    if (!effective_sub) {
+      r = big + small;
+    } else {
+      r = big - small;
+      // With a sticky tail the true result is strictly below r: borrow one
+      // ulp so guard/sticky classification stays exact.
+      if (sticky) r -= 1;
+      if (r == 0) return zero();
+    }
+    const int t = 127 - clz_u128(r);
+    r <<= (127 - t);
+    const auto m = static_cast<std::uint64_t>(r >> 64);
+    const bool g = (static_cast<std::uint64_t>(r) >> 63) & 1;
+    const bool s = sticky || (static_cast<std::uint64_t>(r) & ((1ull << 63) - 1)) != 0;
+    return make(x.neg, x.e - 126 + t, m, g, s);
+  }
+
+  /// Exact product of two finite non-zero values.
+  [[nodiscard]] static TaperedFloat mul_unpacked(const Unpacked& x, const Unpacked& y) noexcept {
+    u128 prod = static_cast<u128>(x.m) * y.m;  // in [2^126, 2^128)
+    const int t = 127 - clz_u128(prod);
+    prod <<= (127 - t);
+    const auto m = static_cast<std::uint64_t>(prod >> 64);
+    const bool g = (static_cast<std::uint64_t>(prod) >> 63) & 1;
+    const bool s = (static_cast<std::uint64_t>(prod) & ((1ull << 63) - 1)) != 0;
+    return make(x.neg != y.neg, x.e + y.e - 126 + t, m, g, s);
+  }
+
   // -- Comparisons: total order via the signed encoding (NaR is smallest) --
   friend constexpr bool operator==(TaperedFloat a, TaperedFloat b) noexcept { return a.bits_ == b.bits_; }
   friend constexpr bool operator!=(TaperedFloat a, TaperedFloat b) noexcept { return a.bits_ != b.bits_; }
@@ -263,38 +303,13 @@ class TaperedFloat {
     return from_bits(static_cast<Storage>((~payload + 1) & kMask));
   }
 
-  /// Shared addition/subtraction core (exact alignment with sticky).
+  /// Shared addition/subtraction entry: special cases, then the exact core.
   [[nodiscard]] static TaperedFloat add(TaperedFloat a, TaperedFloat b, bool negate_b) noexcept {
     if (a.is_nar() || b.is_nar()) return nar();
     if (negate_b) b = -b;
     if (a.is_zero()) return b;
     if (b.is_zero()) return a;
-    Unpacked x = a.unpack(), y = b.unpack();
-    if (x.e < y.e || (x.e == y.e && x.m < y.m)) {
-      const Unpacked t = x;
-      x = y;
-      y = t;
-    }
-    const bool effective_sub = x.neg != y.neg;
-    const u128 big = static_cast<u128>(x.m) << 63;  // headroom bit 127 free
-    bool sticky = false;
-    const u128 small = shift_right_sticky(static_cast<u128>(y.m) << 63, x.e - y.e, sticky);
-    u128 r;
-    if (!effective_sub) {
-      r = big + small;
-    } else {
-      r = big - small;
-      // With a sticky tail the true result is strictly below r: borrow one
-      // ulp so guard/sticky classification stays exact.
-      if (sticky) r -= 1;
-      if (r == 0) return zero();
-    }
-    const int t = 127 - clz_u128(r);
-    r <<= (127 - t);
-    const auto m = static_cast<std::uint64_t>(r >> 64);
-    const bool g = (static_cast<std::uint64_t>(r) >> 63) & 1;
-    const bool s = sticky || (static_cast<std::uint64_t>(r) & ((1ull << 63) - 1)) != 0;
-    return make(x.neg, x.e - 126 + t, m, g, s);
+    return add_unpacked(a.unpack(), b.unpack());
   }
 
   Storage bits_;

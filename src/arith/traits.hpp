@@ -117,6 +117,67 @@ struct NumTraits<Takum<N>> {
   static T from_double(double x) noexcept { return T::from_double(x); }
 };
 
+// ---------------------------------------------------------------------------
+// ScalarCodec<T>: uniform bit-level codec surface for the emulated formats.
+//
+// Where NumTraits<T> speaks in values, ScalarCodec<T> speaks in encodings:
+// bits <-> T, bits <-> double, and (for tapered formats) bits <-> Unpacked.
+// The exact engines (SoftFloat, TaperedFloat) implement these operations;
+// ScalarCodec exposes them uniformly so the kernel layer's LUT builders
+// (kernels/accel.hpp) and the exhaustive bit-identity tests can enumerate
+// and decode every encoding of a format without knowing its family.
+// Native float/double/Quad have no codec: they take the plain kernel paths.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct ScalarCodec;  // primary template intentionally undefined
+
+template <int E, int M, Flavor F>
+struct ScalarCodec<SoftFloat<E, M, F>> {
+  using Scalar = SoftFloat<E, M, F>;
+  using Storage = typename Scalar::Storage;
+  static constexpr int bits = Scalar::kBits;
+  static constexpr bool tapered = false;
+  [[nodiscard]] static constexpr Storage to_bits(Scalar x) noexcept { return x.bits(); }
+  [[nodiscard]] static constexpr Scalar from_bits(Storage b) noexcept {
+    return Scalar::from_bits(b);
+  }
+  [[nodiscard]] static constexpr double bits_to_double(Storage b) noexcept {
+    return Scalar::from_bits(b).to_double();
+  }
+  [[nodiscard]] static constexpr Storage bits_from_double(double d) noexcept {
+    return Scalar::from_double(d).bits();
+  }
+};
+
+template <class Codec>
+struct ScalarCodec<TaperedFloat<Codec>> {
+  using Scalar = TaperedFloat<Codec>;
+  using Storage = typename Scalar::Storage;
+  static constexpr int bits = Scalar::kBits;
+  static constexpr bool tapered = true;
+  [[nodiscard]] static constexpr Storage to_bits(Scalar x) noexcept { return x.bits(); }
+  [[nodiscard]] static constexpr Scalar from_bits(Storage b) noexcept {
+    return Scalar::from_bits(b);
+  }
+  [[nodiscard]] static double bits_to_double(Storage b) noexcept {
+    return Scalar::from_bits(b).to_double();
+  }
+  [[nodiscard]] static Storage bits_from_double(double d) noexcept {
+    return Scalar::from_double(d).bits();
+  }
+  /// Decode an encoding to (sign, exponent, significand). Meaningful for
+  /// finite non-zero patterns; zero/NaR must be special-cased by the caller
+  /// (as the exact engine itself does).
+  [[nodiscard]] static Unpacked bits_to_unpacked(Storage b) noexcept {
+    return Scalar::from_bits(b).unpack();
+  }
+};
+
+/// Formats with a bit-level codec (everything software-emulated here).
+template <typename T>
+concept HasScalarCodec = requires { typename ScalarCodec<T>::Storage; };
+
 /// Did converting `x` into format T lose the value entirely (zero, infinity
 /// or NaN from a finite non-zero input)? This is the paper's per-matrix
 /// "dynamic range exceeded" test used for the ∞σ classification.

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "arith/traits.hpp"
-#include "dense/blas.hpp"
+#include "kernels/vector_ops.hpp"
 #include "dense/matrix.hpp"
 #include "support/rng.hpp"
 
@@ -37,11 +37,11 @@ T orthogonalize(const DenseMatrix<T>& v, std::size_t cols, T* w, T* h, T norm_be
   T norm_after = norm_before;
   for (int pass = 0; pass < 3; ++pass) {
     for (std::size_t j = 0; j < cols; ++j) {
-      const T c = dot(n, v.col(j), w);
+      const T c = kernels::dot(n, v.col(j), w);
       h[j] += c;
-      axpy(n, -c, v.col(j), w);
+      kernels::axpy(n, -c, v.col(j), w);
     }
-    norm_after = nrm2(n, w);
+    norm_after = kernels::nrm2(n, w);
     if (!is_number(norm_after)) return norm_after;
     if (norm_after > eta * norm_before) break;  // DGKS: no further pass needed
     norm_before = norm_after;
@@ -72,7 +72,7 @@ ExpandStatus arnoldi_step(const Op& a, DenseMatrix<T>& v, DenseMatrix<T>& s, std
   std::vector<T> w(n);
   a.matvec(v.col(j), w.data());
 
-  const T norm_before = nrm2(n, w.data());
+  const T norm_before = kernels::nrm2(n, w.data());
   if (!is_number(norm_before)) return ExpandStatus::failed;
 
   std::vector<T> h(j + 1, T(0));

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/arnoldi.hpp"
+#include "kernels/vector_ops.hpp"
 #include "dense/hessenberg.hpp"
 #include "dense/schur.hpp"
 #include "dense/schur_reorder.hpp"
@@ -112,13 +113,13 @@ PartialSchurResult<T> partialschur(const Op& a, const PartialSchurOptions& opts 
     }
     for (std::size_t i = 0; i < n; ++i) v(i, 0) = NumTraits<T>::from_double(v0[i]);
     // Normalize in T (conversion perturbs the double-unit norm).
-    const T nrm = nrm2(n, v.col(0));
+    const T nrm = kernels::nrm2(n, v.col(0));
     if (!is_number(nrm) || NumTraits<T>::to_double(nrm) == 0.0) {
       out.failure = "start vector collapsed in format";
       return out;
     }
     const T inv = T(1) / nrm;
-    scal(n, inv, v.col(0));
+    kernels::scal(n, inv, v.col(0));
   }
 
   std::size_t k = 0;  // active decomposition size
@@ -181,7 +182,7 @@ PartialSchurResult<T> partialschur(const Op& a, const PartialSchurOptions& opts 
       // Keep nev columns, extended by one if that would split a 2x2 block.
       std::size_t keep = std::min(nev, m);
       if (keep < m && t(keep, keep - 1) != T(0)) ++keep;
-      update_basis(v, q.top_left(m, keep), keep);
+      kernels::update_basis(v, q.top_left(m, keep), keep);
       out.q = v.top_left(n, keep);
       out.r = t.top_left(keep, keep);
       std::vector<T> re, im;
@@ -203,7 +204,7 @@ PartialSchurResult<T> partialschur(const Op& a, const PartialSchurOptions& opts 
     if (keep < m && t(keep, keep - 1) != T(0)) ++keep;  // do not split a pair
     keep = std::min(keep, m - 1);
 
-    update_basis(v, q.top_left(m, keep), keep);
+    kernels::update_basis(v, q.top_left(m, keep), keep);
     // Residual vector v_m becomes the new v_k.
     {
       T* dst = v.col(keep);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/arnoldi.hpp"
+#include "kernels/vector_ops.hpp"
 #include "core/krylov_schur.hpp"
 #include "dense/jacobi.hpp"
 #include "dense/tridiagonal.hpp"
@@ -57,12 +58,12 @@ PartialSchurResult<T> lanczos_eigs(const Op& a, const PartialSchurOptions& opts 
       v0 = rng.unit_vector(n);
     }
     for (std::size_t i = 0; i < n; ++i) v(i, 0) = NumTraits<T>::from_double(v0[i]);
-    const T nrm = nrm2(n, v.col(0));
+    const T nrm = kernels::nrm2(n, v.col(0));
     if (!is_number(nrm) || NumTraits<T>::to_double(nrm) == 0.0) {
       out.failure = "start vector collapsed in format";
       return out;
     }
-    scal(n, T(1) / nrm, v.col(0));
+    kernels::scal(n, T(1) / nrm, v.col(0));
   }
 
   std::size_t k = 0;
@@ -132,7 +133,7 @@ PartialSchurResult<T> lanczos_eigs(const Op& a, const PartialSchurOptions& opts 
     DenseMatrix<T> qsel(m, keep);
     for (std::size_t j = 0; j < keep; ++j)
       for (std::size_t i = 0; i < m; ++i) qsel(i, j) = q(i, order[j]);
-    update_basis(v, qsel, keep);
+    kernels::update_basis(v, qsel, keep);
 
     if (done) {
       out.q = v.top_left(n, keep);

@@ -4,6 +4,15 @@
 // Used by the Krylov–Schur restart: after truncation the Rayleigh quotient
 // matrix is (quasi-triangular + spike + Hessenberg extension); it must be
 // restored to Hessenberg form before the Francis QR sweep.
+//
+// The reflector applications run through the kernel layer
+// (kernels/vector_ops.hpp) as contiguous column dot/axpy operations, so
+// the ≤16-bit formats take the LUT fast paths. The row-wise right/Q
+// applications are expressed column-by-column; per element the
+// accumulation order (ascending j) is unchanged, and commuting a
+// correctly rounded multiply or folding a negation into the axpy
+// coefficient is exact in every format here, so results are bit-identical
+// to the direct row-wise loops.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +20,7 @@
 
 #include "arith/quad.hpp"
 #include "dense/matrix.hpp"
+#include "kernels/vector_ops.hpp"
 
 namespace mfla {
 
@@ -21,18 +31,16 @@ template <typename T>
 bool hessenberg_reduce(DenseMatrix<T>& a, DenseMatrix<T>& q) {
   const std::size_t n = a.rows();
   if (n <= 2) return true;
-  std::vector<T> v(n), w(n);
+  std::vector<T> v(n), w(n > q.rows() ? n : q.rows());
   for (std::size_t k = 0; k + 2 < n; ++k) {
     // Householder reflector annihilating a(k+2..n-1, k).
     T scale(0);
     for (std::size_t i = k + 1; i < n; ++i) scale += abs(a(i, k));
     if (!is_number(scale)) return false;
     if (scale == T(0)) continue;
-    T alpha2(0);
-    for (std::size_t i = k + 1; i < n; ++i) {
-      v[i] = a(i, k) / scale;
-      alpha2 += v[i] * v[i];
-    }
+    const std::size_t len = n - (k + 1);  // active rows/cols k+1..n-1
+    for (std::size_t i = k + 1; i < n; ++i) v[i] = a(i, k) / scale;
+    T alpha2 = kernels::dot(len, v.data() + k + 1, v.data() + k + 1);
     T alpha = sqrt(alpha2);
     if (!is_number(alpha) || alpha == T(0)) continue;
     if (v[k + 1] > T(0)) alpha = -alpha;
@@ -43,27 +51,26 @@ bool hessenberg_reduce(DenseMatrix<T>& a, DenseMatrix<T>& q) {
     v[k + 1] = v[k + 1] - alpha;
     if (!is_number(beta)) return false;
 
-    // Apply from the left: A := P A on rows k+1..n-1.
+    // Apply from the left: A := P A on rows k+1..n-1 (contiguous in each
+    // column): s = beta * v^T a_j, then a_j -= s v.
     for (std::size_t j = 0; j < n; ++j) {
-      T s(0);
-      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * a(i, j);
+      T* colj = a.col(j) + (k + 1);
+      T s = kernels::dot(len, v.data() + k + 1, colj);
       s *= beta;
-      for (std::size_t i = k + 1; i < n; ++i) a(i, j) -= s * v[i];
+      kernels::axpy(len, -s, v.data() + k + 1, colj);
     }
-    // Apply from the right: A := A P on cols k+1..n-1.
-    for (std::size_t i = 0; i < n; ++i) {
-      T s(0);
-      for (std::size_t j = k + 1; j < n; ++j) s += a(i, j) * v[j];
-      s *= beta;
-      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= s * v[j];
-    }
-    // Accumulate: Q := Q P.
-    for (std::size_t i = 0; i < q.rows(); ++i) {
-      T s(0);
-      for (std::size_t j = k + 1; j < n; ++j) s += q(i, j) * v[j];
-      s *= beta;
-      for (std::size_t j = k + 1; j < n; ++j) q(i, j) -= s * v[j];
-    }
+    // Apply from the right: A := A P on cols k+1..n-1. Row-wise sums are
+    // built column-by-column: w = beta * A[:, k+1..n) v, then a_j -= v_j w.
+    for (std::size_t i = 0; i < n; ++i) w[i] = T(0);
+    for (std::size_t j = k + 1; j < n; ++j) kernels::axpy(n, v[j], a.col(j), w.data());
+    kernels::scal(n, beta, w.data());
+    for (std::size_t j = k + 1; j < n; ++j) kernels::axpy(n, -v[j], w.data(), a.col(j));
+    // Accumulate: Q := Q P (same shape as the right application).
+    const std::size_t qr = q.rows();
+    for (std::size_t i = 0; i < qr; ++i) w[i] = T(0);
+    for (std::size_t j = k + 1; j < n; ++j) kernels::axpy(qr, v[j], q.col(j), w.data());
+    kernels::scal(qr, beta, w.data());
+    for (std::size_t j = k + 1; j < n; ++j) kernels::axpy(qr, -v[j], w.data(), q.col(j));
     // Restore the exact Hessenberg pattern.
     a(k + 1, k) = alpha * scale;
     for (std::size_t i = k + 2; i < n; ++i) a(i, k) = T(0);

@@ -1,14 +1,17 @@
 // Compressed sparse row matrix, templated over the scalar type.
 //
-// The matvec accumulates in the working format T — this is the central
-// kernel whose low-precision behavior the study measures.
+// The matvec delegates to kernels::spmv, which accumulates in the working
+// format T — this is the central kernel whose low-precision behavior the
+// study measures.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "arith/traits.hpp"
+#include "kernels/spmv.hpp"
 #include "sparse/coo.hpp"
 
 namespace mfla {
@@ -45,22 +48,18 @@ class CsrMatrix {
   [[nodiscard]] std::vector<T>& values() noexcept { return values_; }
 
   /// y := A x, accumulated in T.
-  void matvec(const T* x, T* y) const noexcept {
-    for (std::size_t i = 0; i < rows_; ++i) {
-      T acc(0);
-      for (std::uint32_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-        acc += values_[k] * x[col_idx_[k]];
-      }
-      y[i] = acc;
-    }
+  void matvec(const T* x, T* y) const {
+    kernels::spmv(rows_, row_ptr_.data(), col_idx_.data(), values_.data(), x, y);
   }
 
-  /// Entry lookup (binary search within the row); 0 if absent.
+  /// Entry lookup (binary search within the row — col_idx_ is sorted within
+  /// each row after CooMatrix::compress); 0 if absent.
   [[nodiscard]] T at(std::size_t i, std::size_t j) const noexcept {
-    for (std::uint32_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      if (col_idx_[k] == j) return values_[k];
-    }
-    return T(0);
+    const auto* first = col_idx_.data() + row_ptr_[i];
+    const auto* last = col_idx_.data() + row_ptr_[i + 1];
+    const auto* it = std::lower_bound(first, last, static_cast<std::uint32_t>(j));
+    if (it == last || *it != j) return T(0);
+    return values_[static_cast<std::size_t>(it - col_idx_.data())];
   }
 
   /// Convert the value array into another scalar type (same pattern).

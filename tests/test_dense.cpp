@@ -6,7 +6,7 @@
 #include <cmath>
 
 #include "arith/posit.hpp"
-#include "dense/blas.hpp"
+#include "kernels/vector_ops.hpp"
 #include "dense/hessenberg.hpp"
 #include "dense/householder.hpp"
 #include "dense/jacobi.hpp"
@@ -49,14 +49,14 @@ TEST(DenseMatrix, BasicsAndIdentity) {
 TEST(Blas, DotAxpyScalNrm2) {
   const std::size_t n = 100;
   std::vector<double> x(n, 2.0), y(n, 3.0);
-  EXPECT_DOUBLE_EQ(dot(n, x.data(), y.data()), 600.0);
-  axpy(n, 0.5, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(kernels::dot(n, x.data(), y.data()), 600.0);
+  kernels::axpy(n, 0.5, x.data(), y.data());
   EXPECT_DOUBLE_EQ(y[0], 4.0);
-  scal(n, 2.0, x.data());
+  kernels::scal(n, 2.0, x.data());
   EXPECT_DOUBLE_EQ(x[10], 4.0);
   std::vector<double> e(n, 0.0);
   e[3] = -5.0;
-  EXPECT_DOUBLE_EQ(nrm2(n, e.data()), 5.0);
+  EXPECT_DOUBLE_EQ(kernels::nrm2(n, e.data()), 5.0);
 }
 
 TEST(Blas, GemvMatchesManual) {
@@ -64,7 +64,7 @@ TEST(Blas, GemvMatchesManual) {
   const auto a = random_matrix(7, 5, rng);
   std::vector<double> x(5), y(7), yt(5);
   for (auto& v : x) v = rng.normal();
-  gemv(a, x.data(), y.data());
+  kernels::gemv(a, x.data(), y.data());
   for (std::size_t i = 0; i < 7; ++i) {
     double acc = 0;
     for (std::size_t j = 0; j < 5; ++j) acc += a(i, j) * x[j];
@@ -72,7 +72,7 @@ TEST(Blas, GemvMatchesManual) {
   }
   std::vector<double> x7(7);
   for (auto& v : x7) v = rng.normal();
-  gemv_t(a, x7.data(), yt.data());
+  kernels::gemv_t(a, x7.data(), yt.data());
   for (std::size_t j = 0; j < 5; ++j) {
     double acc = 0;
     for (std::size_t i = 0; i < 7; ++i) acc += a(i, j) * x7[i];
@@ -84,13 +84,13 @@ TEST(Blas, MatmulAssociativityWithIdentity) {
   Rng rng(42);
   const auto a = random_matrix(6, 6, rng);
   const auto i6 = DenseMatrix<double>::identity(6);
-  const auto ai = matmul(a, i6);
+  const auto ai = kernels::matmul(a, i6);
   for (std::size_t j = 0; j < 6; ++j)
     for (std::size_t i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(ai(i, j), a(i, j));
-  const auto ata = matmul_tn(a, a);
+  const auto ata = kernels::matmul_tn(a, a);
   for (std::size_t j = 0; j < 6; ++j)
     for (std::size_t i = 0; i < 6; ++i)
-      EXPECT_NEAR(ata(i, j), dot(6, a.col(i), a.col(j)), 1e-13);
+      EXPECT_NEAR(ata(i, j), kernels::dot(6, a.col(i), a.col(j)), 1e-13);
 }
 
 TEST(Blas, UpdateBasis) {
@@ -98,7 +98,7 @@ TEST(Blas, UpdateBasis) {
   auto v = random_matrix(10, 5, rng);
   const auto v0 = v;
   auto w = random_matrix(5, 3, rng);
-  update_basis(v, w, 3);
+  kernels::update_basis(v, w, 3);
   for (std::size_t j = 0; j < 3; ++j)
     for (std::size_t i = 0; i < 10; ++i) {
       double acc = 0;
@@ -114,10 +114,10 @@ TEST(Householder, ThinQrReconstructs) {
   const auto a = random_matrix(12, 6, rng);
   DenseMatrix<double> q, r;
   ASSERT_TRUE(qr_factor(a, q, r));
-  const auto qr = matmul(q, r);
+  const auto qr = kernels::matmul(q, r);
   for (std::size_t j = 0; j < 6; ++j)
     for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(qr(i, j), a(i, j), 1e-12);
-  const auto qtq = matmul_tn(q, q);
+  const auto qtq = kernels::matmul_tn(q, q);
   for (std::size_t j = 0; j < 6; ++j)
     for (std::size_t i = 0; i < 6; ++i)
       EXPECT_NEAR(qtq(i, j), i == j ? 1.0 : 0.0, 1e-13);
@@ -136,10 +136,10 @@ TEST(Hessenberg, PatternAndSimilarity) {
     for (std::size_t j = 0; j + 2 < n; ++j)
       for (std::size_t i = j + 2; i < n; ++i) EXPECT_NEAR(a(i, j), 0.0, 1e-13);
     // Q orthogonal and Q H Q^T == A0.
-    const auto qtq = matmul_tn(q, q);
+    const auto qtq = kernels::matmul_tn(q, q);
     for (std::size_t j = 0; j < n; ++j)
       for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(qtq(i, j), i == j ? 1.0 : 0.0, 1e-12);
-    const auto rec = matmul(matmul(q, a), q.transposed());
+    const auto rec = kernels::matmul(kernels::matmul(q, a), q.transposed());
     for (std::size_t j = 0; j < n; ++j)
       for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(rec(i, j), a0(i, j), 1e-11);
   }
@@ -157,7 +157,7 @@ TEST(Hessenberg, SpikeShapeInput) {
   const auto a0 = a;
   auto q = DenseMatrix<double>::identity(n);
   ASSERT_TRUE(hessenberg_reduce(a, q));
-  const auto rec = matmul(matmul(q, a), q.transposed());
+  const auto rec = kernels::matmul(kernels::matmul(q, a), q.transposed());
   for (std::size_t j = 0; j < n; ++j)
     for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(rec(i, j), a0(i, j), 1e-11);
 }
@@ -173,7 +173,7 @@ TEST_P(JacobiSizes, DiagonalizesSymmetric) {
   const int sweeps = jacobi_eigen(a, v);
   ASSERT_GT(sweeps, 0);
   // A0 V = V D.
-  const auto av = matmul(a0, v);
+  const auto av = kernels::matmul(a0, v);
   for (std::size_t j = 0; j < n; ++j)
     for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(av(i, j), v(i, j) * a(j, j), 1e-10);
   // Eigenvalue sum = trace.
@@ -211,11 +211,11 @@ TEST(DenseLowPrecision, KernelsRunInPosit16) {
     x[i] = Posit16(rng.normal());
     y[i] = Posit16(rng.normal());
   }
-  const Posit16 d = dot(n, x.data(), y.data());
+  const Posit16 d = kernels::dot(n, x.data(), y.data());
   double dd = 0;
   for (std::size_t i = 0; i < n; ++i) dd += x[i].to_double() * y[i].to_double();
   EXPECT_NEAR(d.to_double(), dd, 0.02 * std::abs(dd) + 0.02);
-  const Posit16 nr = nrm2(n, x.data());
+  const Posit16 nr = kernels::nrm2(n, x.data());
   EXPECT_GT(nr.to_double(), 0.0);
 }
 

@@ -8,7 +8,7 @@
 
 #include "arith/posit.hpp"
 #include "arith/takum.hpp"
-#include "dense/blas.hpp"
+#include "kernels/vector_ops.hpp"
 #include "dense/eigvec.hpp"
 #include "dense/hessenberg.hpp"
 #include "dense/jacobi.hpp"
@@ -38,8 +38,8 @@ DenseMatrix<double> random_general(std::size_t n, Rng& rng) {
 
 double residual(const DenseMatrix<double>& a, const DenseMatrix<double>& q,
                 const DenseMatrix<double>& t) {
-  const auto aq = matmul(a, q);
-  const auto qt = matmul(q, t);
+  const auto aq = kernels::matmul(a, q);
+  const auto qt = kernels::matmul(q, t);
   double r = 0;
   for (std::size_t j = 0; j < a.cols(); ++j)
     for (std::size_t i = 0; i < a.rows(); ++i) r = std::max(r, std::abs(aq(i, j) - qt(i, j)));
@@ -47,7 +47,7 @@ double residual(const DenseMatrix<double>& a, const DenseMatrix<double>& q,
 }
 
 double orth_defect(const DenseMatrix<double>& q) {
-  const auto qtq = matmul_tn(q, q);
+  const auto qtq = kernels::matmul_tn(q, q);
   double r = 0;
   for (std::size_t j = 0; j < q.cols(); ++j)
     for (std::size_t i = 0; i < q.cols(); ++i)
@@ -213,7 +213,7 @@ TEST(SchurEigvec, ResidualSmallForRealEigenvalues) {
     const auto x = schur_eigenvector(p.t, p.q, k);
     ASSERT_EQ(x.size(), 12u);
     std::vector<double> ax(12);
-    gemv(a, x.data(), ax.data());
+    kernels::gemv(a, x.data(), ax.data());
     for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(ax[i], re[k] * x[i], 1e-9);
   }
 }

@@ -66,6 +66,54 @@ TEST(Csr, FromCooAndMatvec) {
   EXPECT_DOUBLE_EQ(a.at(2, 2), 0.0);
 }
 
+TEST(Csr, AtBinarySearchFindsEveryEntry) {
+  // Row patterns chosen to exercise the binary search: a dense-ish row, a
+  // single-entry row, an empty row, and a row ending at the last column.
+  CooMatrix coo(4, 6);
+  coo.add(0, 0, 1.0);   // first entry of row 0
+  coo.add(0, 2, 2.0);   // middle
+  coo.add(0, 5, 3.0);   // last entry of row 0 = last column
+  coo.add(1, 3, 4.0);   // lone entry
+  // row 2 empty
+  coo.add(3, 1, 5.0);
+  coo.add(3, 4, 6.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+
+  // Every present entry is found (first, middle, last within a row).
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 5), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 3), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(3, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(3, 4), 6.0);
+
+  // Absent columns: below the first, between entries, above the last, and
+  // every column of an empty row.
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 5), 0.0);
+  for (std::size_t j = 0; j < 6; ++j) EXPECT_DOUBLE_EQ(a.at(2, j), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(3, 5), 0.0);
+
+  // Cross-check against the dense expansion on a random matrix.
+  Rng rng(77);
+  CooMatrix rnd(12, 12);
+  for (int k = 0; k < 40; ++k) {
+    rnd.add(static_cast<std::uint32_t>(rng.uniform_index(12)),
+            static_cast<std::uint32_t>(rng.uniform_index(12)), rng.normal());
+  }
+  CooMatrix compressed = rnd;
+  compressed.compress();
+  const auto b = CsrMatrix<double>::from_coo(rnd);
+  std::vector<double> dense(12 * 12, 0.0);
+  for (const auto& t : compressed.triplets()) dense[t.row * 12 + t.col] = t.value;
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j) EXPECT_DOUBLE_EQ(b.at(i, j), dense[i * 12 + j]);
+}
+
 TEST(Csr, ConvertChangesFormatNotPattern) {
   CooMatrix coo(2, 2);
   coo.add(0, 0, 1.0 / 3.0);
