@@ -4,6 +4,13 @@
 // Everything runs in the working scalar type T: inner products, norms and
 // the normalization — the paper's subject is precisely how these kernels
 // behave in each format.
+//
+// The hot loop is allocation-free at steady state: every scratch vector a
+// step needs (the matvec target w, the projection coefficients h, the
+// discard buffer for deflation retries) lives in an ArnoldiWorkspace<T>
+// owned by the solver and sized once per solve. The workspace-free
+// arnoldi_step overload below keeps the one-off call sites (tests,
+// benchmarks) unchanged; it allocates a fresh workspace per call.
 #pragma once
 
 #include <algorithm>
@@ -24,10 +31,28 @@ enum class ExpandStatus {
   failed,      // non-finite values appeared (overflow / NaR poisoning)
 };
 
+/// Per-solve scratch for the Arnoldi inner loop. reserve() sizes every
+/// buffer for the largest step of the solve; after that, arnoldi_step
+/// performs zero heap allocations on its regular (non-deflation) path —
+/// verified by tests/test_arnoldi_workspace.cpp with an operator-new hook.
+template <typename T>
+struct ArnoldiWorkspace {
+  std::vector<T> w;     // n: matvec target / candidate basis vector
+  std::vector<T> h;     // maxdim+1: projection coefficients of one step
+  std::vector<T> dump;  // maxdim+1: discarded coefficients (deflation only)
+
+  void reserve(std::size_t n, std::size_t maxdim) {
+    w.resize(n);
+    h.resize(maxdim + 1);
+    dump.resize(maxdim + 1);
+  }
+};
+
 namespace detail {
 
 /// Orthogonalize w against the first `cols` columns of v with iterated CGS
-/// (eta = 1/sqrt(2)); coefficients are accumulated into h[0..cols).
+/// (eta = 1/sqrt(2)); coefficients are accumulated into h[0..cols), which
+/// is (re)initialized here — callers may pass recycled buffers.
 /// Returns the norm of the orthogonalized w (in T), or NaR/NaN on failure.
 template <typename T>
 T orthogonalize(const DenseMatrix<T>& v, std::size_t cols, T* w, T* h, T norm_before) {
@@ -65,18 +90,21 @@ void random_direction(std::size_t n, Rng& rng, T* w) {
 /// On invariant-subspace breakdown (beta ~ 0) the subdiagonal is set to
 /// exact zero and a fresh random direction (orthogonalized) continues the
 /// basis, as in ArnoldiMethod.jl.
+///
+/// `ws` must be reserve()d for (v.rows(), at least j+1); all scratch comes
+/// from it, so the regular path allocates nothing.
 template <typename T, class Op>
 ExpandStatus arnoldi_step(const Op& a, DenseMatrix<T>& v, DenseMatrix<T>& s, std::size_t j,
-                          Rng& rng) {
+                          Rng& rng, ArnoldiWorkspace<T>& ws) {
   const std::size_t n = v.rows();
-  std::vector<T> w(n);
-  a.matvec(v.col(j), w.data());
+  T* const w = ws.w.data();
+  a.matvec(v.col(j), w);
 
-  const T norm_before = kernels::nrm2(n, w.data());
+  const T norm_before = kernels::nrm2(n, w);
   if (!is_number(norm_before)) return ExpandStatus::failed;
 
-  std::vector<T> h(j + 1, T(0));
-  T beta = detail::orthogonalize(v, j + 1, w.data(), h.data(), norm_before);
+  T* const h = ws.h.data();
+  T beta = detail::orthogonalize(v, j + 1, w, h, norm_before);
   if (!is_number(beta)) return ExpandStatus::failed;
   for (std::size_t i = 0; i <= j; ++i) {
     if (!is_number(h[i])) return ExpandStatus::failed;
@@ -105,9 +133,8 @@ ExpandStatus arnoldi_step(const Op& a, DenseMatrix<T>& v, DenseMatrix<T>& s, std
   const double accept = std::max(0.05 / std::sqrt(static_cast<double>(n)),
                                  64.0 * NumTraits<T>::epsilon());
   for (int attempt = 0; attempt < 6; ++attempt) {
-    detail::random_direction(n, rng, w.data());
-    std::vector<T> dump(j + 1, T(0));
-    const T nrm = detail::orthogonalize(v, j + 1, w.data(), dump.data(), T(1));
+    detail::random_direction(n, rng, w);
+    const T nrm = detail::orthogonalize(v, j + 1, w, ws.dump.data(), T(1));
     if (!is_number(nrm)) return ExpandStatus::failed;
     if (NumTraits<T>::to_double(nrm) > accept) {
       const T inv = T(1) / nrm;
@@ -117,6 +144,15 @@ ExpandStatus arnoldi_step(const Op& a, DenseMatrix<T>& v, DenseMatrix<T>& s, std
     }
   }
   return ExpandStatus::failed;
+}
+
+/// Convenience overload with a throwaway workspace (one-off call sites).
+template <typename T, class Op>
+ExpandStatus arnoldi_step(const Op& a, DenseMatrix<T>& v, DenseMatrix<T>& s, std::size_t j,
+                          Rng& rng) {
+  ArnoldiWorkspace<T> ws;
+  ws.reserve(v.rows(), j + 1);
+  return arnoldi_step(a, v, s, j, rng, ws);
 }
 
 }  // namespace mfla

@@ -32,6 +32,11 @@
 
 namespace mfla {
 
+/// The paper's reference-solve tolerance (float128, §2.2). Shared by
+/// compute_reference and the reference cache key, so changing it here
+/// invalidates every cached reference solution automatically.
+inline constexpr double kReferenceTolerance = 1e-20;
+
 struct ExperimentConfig {
   std::size_t nev = 10;    // eigenvalue_count (paper: 10 largest)
   std::size_t buffer = 2;  // eigenvalue_buffer_count (paper: 2)
@@ -50,6 +55,10 @@ struct FormatRun {
   std::size_t nconverged = 0;
   int restarts = 0;
   std::size_t matvecs = 0;
+  /// Wall-clock seconds this run took (timing telemetry; journaled, but
+  /// deliberately kept out of the numeric CSV columns, which must stay
+  /// reproducible run-to-run).
+  double duration_seconds = 0.0;
   std::string failure;
 };
 
@@ -150,6 +159,20 @@ struct ExperimentProgress {
   double elapsed_seconds = 0.0;
 };
 
+class ReferenceCache;  // core/reference_cache.hpp
+
+/// Aggregate counters for one run_experiment invocation, written before it
+/// returns when ScheduleOptions::stats is set. The reference counters are
+/// what the cache tests and bench_reference_cache observe: a fully warm
+/// sweep executes zero float128 solves.
+struct SweepStats {
+  std::size_t reference_solves = 0;   // float128 reference solves executed
+  double reference_seconds = 0.0;     // wall-clock summed over those solves
+  std::size_t reference_cache_hits = 0;
+  double reference_cache_seconds = 0.0;  // wall-clock spent serving cache hits
+  double format_seconds = 0.0;        // wall-clock summed over format runs
+};
+
 /// Engine knobs, orthogonal to the numerical ExperimentConfig.
 struct ScheduleOptions {
   /// Worker threads; 0 = hardware concurrency.
@@ -162,6 +185,12 @@ struct ScheduleOptions {
   /// (throws std::runtime_error otherwise). Without this flag an existing
   /// checkpoint file is truncated and the sweep starts from scratch.
   bool resume = false;
+  /// Persistent reference-solution cache (not owned); nullptr disables
+  /// caching. A matrix whose runs are all journaled is retired before its
+  /// prerequisite task is scheduled, so it never touches the cache.
+  ReferenceCache* ref_cache = nullptr;
+  /// Filled with this invocation's counters when non-null.
+  SweepStats* stats = nullptr;
   /// Invoked (serialized) after each completed run; default: silent.
   std::function<void(const ExperimentProgress&)> on_progress;
 };

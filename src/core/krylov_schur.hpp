@@ -60,6 +60,21 @@ struct PartialSchurResult {
   std::vector<double> eig_im;
 };
 
+/// All restart-loop scratch of one partialschur/lanczos_eigs solve. Sized
+/// on first use and recycled across restarts, so the steady-state cycle
+/// (expand -> reduce -> reorder -> truncate) reuses one set of buffers
+/// instead of reallocating the Rayleigh/accumulator matrices, the spike,
+/// the reflector scratch and the basis-update scratch every restart.
+template <typename T>
+struct KrylovSchurWorkspace {
+  ArnoldiWorkspace<T> arnoldi;     // inner-loop scratch (allocation-free steps)
+  DenseMatrix<T> t;                // m x m Rayleigh matrix -> Schur form
+  DenseMatrix<T> q;                // m x m orthogonal accumulator
+  HessenbergScratch<T> hessenberg; // reflector scratch of the re-reduction
+  std::vector<T> basis_scratch;    // n x keep accumulator of update_basis
+  std::vector<double> spike;       // residual couplings b^T q
+};
+
 namespace detail {
 
 [[nodiscard]] inline bool prefer_eig(Which which, double are, double aim, double bre,
@@ -122,6 +137,9 @@ PartialSchurResult<T> partialschur(const Op& a, const PartialSchurOptions& opts 
     kernels::scal(n, inv, v.col(0));
   }
 
+  KrylovSchurWorkspace<T> ws;
+  ws.arnoldi.reserve(n, maxdim);
+
   std::size_t k = 0;  // active decomposition size
   for (int restart = 0; restart <= opts.max_restarts; ++restart) {
     out.restarts = restart;
@@ -129,7 +147,7 @@ PartialSchurResult<T> partialschur(const Op& a, const PartialSchurOptions& opts 
     // ---- Expansion: k -> m ------------------------------------------------
     const std::size_t m = maxdim;
     for (std::size_t j = k; j < m; ++j) {
-      const ExpandStatus es = arnoldi_step(a, v, s, j, rng);
+      const ExpandStatus es = arnoldi_step(a, v, s, j, rng, ws.arnoldi);
       ++out.matvecs;
       if (es == ExpandStatus::failed) {
         out.failure = "non-finite values during Arnoldi expansion";
@@ -139,9 +157,14 @@ PartialSchurResult<T> partialschur(const Op& a, const PartialSchurOptions& opts 
     const T beta = s(m, m - 1);
 
     // ---- Rayleigh matrix -> Hessenberg -> real Schur ----------------------
-    DenseMatrix<T> t = s.top_left(m, m);
-    DenseMatrix<T> q = DenseMatrix<T>::identity(m);
-    if (!hessenberg_reduce(t, q)) {
+    // t/q are workspace matrices, fully overwritten here each restart.
+    DenseMatrix<T>& t = ws.t;
+    DenseMatrix<T>& q = ws.q;
+    t.resize(m, m);
+    for (std::size_t j = 0; j < m; ++j)
+      for (std::size_t i = 0; i < m; ++i) t(i, j) = s(i, j);
+    q.set_identity(m);
+    if (!hessenberg_reduce(t, q, ws.hessenberg)) {
       out.failure = "non-finite values in Hessenberg reduction";
       return out;
     }
@@ -158,7 +181,8 @@ PartialSchurResult<T> partialschur(const Op& a, const PartialSchurOptions& opts 
     });
 
     // ---- Spike and convergence --------------------------------------------
-    std::vector<double> spike(m);
+    std::vector<double>& spike = ws.spike;
+    spike.assign(m, 0.0);
     for (std::size_t i = 0; i < m; ++i) {
       spike[i] = NumTraits<T>::to_double(beta) * NumTraits<T>::to_double(q(m - 1, i));
     }
@@ -182,7 +206,7 @@ PartialSchurResult<T> partialschur(const Op& a, const PartialSchurOptions& opts 
       // Keep nev columns, extended by one if that would split a 2x2 block.
       std::size_t keep = std::min(nev, m);
       if (keep < m && t(keep, keep - 1) != T(0)) ++keep;
-      kernels::update_basis(v, q.top_left(m, keep), keep);
+      kernels::update_basis(v, q, m, keep, ws.basis_scratch);
       out.q = v.top_left(n, keep);
       out.r = t.top_left(keep, keep);
       std::vector<T> re, im;
@@ -204,7 +228,7 @@ PartialSchurResult<T> partialschur(const Op& a, const PartialSchurOptions& opts 
     if (keep < m && t(keep, keep - 1) != T(0)) ++keep;  // do not split a pair
     keep = std::min(keep, m - 1);
 
-    kernels::update_basis(v, q.top_left(m, keep), keep);
+    kernels::update_basis(v, q, m, keep, ws.basis_scratch);
     // Residual vector v_m becomes the new v_k.
     {
       T* dst = v.col(keep);

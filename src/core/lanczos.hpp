@@ -66,6 +66,9 @@ PartialSchurResult<T> lanczos_eigs(const Op& a, const PartialSchurOptions& opts 
     kernels::scal(n, T(1) / nrm, v.col(0));
   }
 
+  KrylovSchurWorkspace<T> ws;
+  ws.arnoldi.reserve(n, maxdim);
+
   std::size_t k = 0;
   for (int restart = 0; restart <= opts.max_restarts; ++restart) {
     out.restarts = restart;
@@ -74,7 +77,7 @@ PartialSchurResult<T> lanczos_eigs(const Op& a, const PartialSchurOptions& opts 
       // arnoldi_step orthogonalizes against the full basis: in exact
       // arithmetic only the last two coefficients are non-zero (Lanczos
       // recurrence); keeping the full projection = full reorthogonalization.
-      const ExpandStatus es = arnoldi_step(a, v, s, j, rng);
+      const ExpandStatus es = arnoldi_step(a, v, s, j, rng, ws.arnoldi);
       ++out.matvecs;
       if (es == ExpandStatus::failed) {
         out.failure = "non-finite values during Lanczos expansion";
@@ -129,11 +132,13 @@ PartialSchurResult<T> lanczos_eigs(const Op& a, const PartialSchurOptions& opts 
         done ? std::min(nev, m)
              : std::min(mindim + std::min(nconv, (maxdim - mindim) / 2), m - 1);
 
-    // Rotate the basis into the sorted eigenvectors (leading `keep`).
-    DenseMatrix<T> qsel(m, keep);
+    // Rotate the basis into the sorted eigenvectors (leading `keep`),
+    // staged through the workspace selection matrix.
+    DenseMatrix<T>& qsel = ws.t;
+    qsel.resize(m, keep);
     for (std::size_t j = 0; j < keep; ++j)
       for (std::size_t i = 0; i < m; ++i) qsel(i, j) = q(i, order[j]);
-    kernels::update_basis(v, qsel, keep);
+    kernels::update_basis(v, qsel, m, keep, ws.basis_scratch);
 
     if (done) {
       out.q = v.top_left(n, keep);

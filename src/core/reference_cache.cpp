@@ -1,0 +1,279 @@
+#include "core/reference_cache.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace mfla {
+
+namespace {
+
+// Entry layout version. Bump whenever the payload encoding or the key
+// derivation changes incompatibly; old entries are then rejected (with a
+// warning) and recomputed instead of being misread.
+constexpr std::uint32_t kCacheVersion = 1;
+constexpr char kMagic[8] = {'M', 'F', 'L', 'A', 'R', 'E', 'F', '\n'};
+
+// ---- little-endian scalar (de)serialization -------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+/// Bounds-checked little-endian reader over a byte buffer. Any overrun
+/// flips `ok` and sticks; callers check once at the end.
+struct Reader {
+  const unsigned char* p;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint32_t u32() noexcept {
+    if (pos + 4 > size) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() noexcept {
+    if (pos + 8 > size) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  double f64() noexcept { return std::bit_cast<double>(u64()); }
+
+  std::string str(std::size_t len) {
+    if (pos + len > size) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p + pos), len);
+    pos += len;
+    return s;
+  }
+};
+
+[[nodiscard]] Hash128 payload_checksum(const char* payload, std::size_t size) {
+  Hasher h(0x5ca1ab1eu);
+  h.bytes(payload, size);
+  return h.finish();
+}
+
+void warn(const std::string& path, const char* why) {
+  std::fprintf(stderr, "warning: reference cache entry '%s' %s; recomputing\n", path.c_str(),
+               why);
+}
+
+}  // namespace
+
+Hash128 reference_cache_key(const CsrMatrix<double>& matrix, const ExperimentConfig& cfg,
+                            const std::vector<double>& start) {
+  Hasher h;
+  h.str("mfla-reference-v1");  // domain separation / key-scheme version
+  // Matrix content: dimensions, CSR structure and exact value bits.
+  h.u64(matrix.rows()).u64(matrix.cols()).u64(matrix.nnz());
+  h.span(matrix.row_ptr().data(), matrix.row_ptr().size());
+  h.span(matrix.col_idx().data(), matrix.col_idx().size());
+  h.span(matrix.values().data(), matrix.values().size());
+  // Reference solver configuration. kReferenceTolerance is the very
+  // constant compute_reference passes, and the PartialSchurOptions
+  // defaults below (deflation RNG seed, reflector style) are the ones it
+  // leaves unset — hashing them means changing any of those invalidates
+  // every cached entry without anyone remembering to edit this file.
+  h.u64(cfg.nev).u64(cfg.buffer);
+  h.u64(static_cast<std::uint64_t>(cfg.which));
+  h.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(cfg.reference_max_restarts)));
+  h.f64(kReferenceTolerance);
+  h.u64(cfg.seed);
+  const PartialSchurOptions solver_defaults;
+  h.u64(solver_defaults.seed);
+  h.u64(static_cast<std::uint64_t>(solver_defaults.reflector_style));
+  // Start-vector bits, hashed by content. (Note the engine derives the
+  // start vector from the matrix *name*, so renaming a matrix changes
+  // these bits and deliberately misses: a cache hit always reproduces the
+  // exact sweep the engine would run cold.)
+  h.span(start.data(), start.size());
+  return h.finish();
+}
+
+ReferenceCache::ReferenceCache(std::string directory) : dir_(std::move(directory)) {
+  if (dir_.empty()) throw std::runtime_error("reference cache: empty directory path");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_))
+    throw std::runtime_error("reference cache: cannot create directory '" + dir_ +
+                             "': " + ec.message());
+}
+
+std::string ReferenceCache::entry_path(const Hash128& key) const {
+  return dir_ + "/" + key.hex() + ".mfref";
+}
+
+bool ReferenceCache::load(const Hash128& key, ReferenceSolution& ref) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = entry_path(key);
+
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // One sized read, not a char-at-a-time slurp: entries are MBs of double
+  // bits for large matrices and this is the warm sweep's hot path.
+  const std::streamoff size = in.tellg();
+  std::string blob(size > 0 ? static_cast<std::size_t>(size) : 0, '\0');
+  in.seekg(0);
+  if (!blob.empty()) in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!in) {
+    warn(path, "cannot be read");
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  in.close();
+
+  const auto reject = [&](const char* why) {
+    warn(path, why);
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  };
+
+  // Header: magic(8) version(4) key(16) payload_size(8); then payload and
+  // a trailing 16-byte checksum.
+  constexpr std::size_t kHeader = 8 + 4 + 16 + 8;
+  if (blob.size() < kHeader + 16) return reject("is truncated");
+  Reader r{reinterpret_cast<const unsigned char*>(blob.data()), blob.size()};
+  if (blob.compare(0, 8, kMagic, 8) != 0) return reject("has a foreign header (bad magic)");
+  r.pos = 8;
+  const std::uint32_t version = r.u32();
+  if (version != kCacheVersion) return reject("was written by an incompatible cache version");
+  Hash128 stored_key;
+  stored_key.lo = r.u64();
+  stored_key.hi = r.u64();
+  if (!(stored_key == key)) return reject("records a different cache key (hash collision?)");
+  const std::uint64_t payload_size = r.u64();
+  if (payload_size != blob.size() - kHeader - 16) return reject("is truncated");
+
+  // Checksum and parse the payload in place — entries are MBs of double
+  // bits for large matrices, so no second copy on the warm hot path.
+  const char* payload = blob.data() + kHeader;
+  Reader cr{reinterpret_cast<const unsigned char*>(blob.data()), blob.size()};
+  cr.pos = kHeader + payload_size;
+  Hash128 stored_sum;
+  stored_sum.lo = cr.u64();
+  stored_sum.hi = cr.u64();
+  if (!(payload_checksum(payload, payload_size) == stored_sum))
+    return reject("fails its checksum (corrupted)");
+
+  // Payload: ok(1) failure_len(4) failure rows(8) cols(8) nvalues(8)
+  // values[nvalues] vectors[rows*cols].
+  Reader pr{reinterpret_cast<const unsigned char*>(payload), payload_size};
+  ReferenceSolution out;
+  const std::uint32_t ok_flag = pr.u32();
+  const std::uint32_t failure_len = pr.u32();
+  out.failure = pr.str(failure_len);
+  const std::uint64_t rows = pr.u64();
+  const std::uint64_t cols = pr.u64();
+  const std::uint64_t nvalues = pr.u64();
+  // Bound each dimension before multiplying so corrupt headers cannot
+  // overflow rows * cols past the size check.
+  if (!pr.ok || ok_flag > 1 || nvalues > payload_size || rows > payload_size ||
+      cols > payload_size || rows * cols > payload_size)
+    return reject("has an inconsistent payload");
+  out.ok = ok_flag == 1;
+  out.values.resize(nvalues);
+  for (auto& v : out.values) v = pr.f64();
+  out.vectors = DenseMatrix<double>(rows, cols);
+  for (std::uint64_t j = 0; j < cols; ++j)
+    for (std::uint64_t i = 0; i < rows; ++i) out.vectors(i, j) = pr.f64();
+  if (!pr.ok || pr.pos != payload_size) return reject("has an inconsistent payload");
+
+  ref = std::move(out);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ReferenceCache::store(const Hash128& key, const ReferenceSolution& ref) {
+  std::string payload;
+  put_u32(payload, ref.ok ? 1 : 0);
+  put_u32(payload, static_cast<std::uint32_t>(ref.failure.size()));
+  payload += ref.failure;
+  put_u64(payload, ref.vectors.rows());
+  put_u64(payload, ref.vectors.cols());
+  put_u64(payload, ref.values.size());
+  for (const double v : ref.values) put_f64(payload, v);
+  for (std::size_t j = 0; j < ref.vectors.cols(); ++j)
+    for (std::size_t i = 0; i < ref.vectors.rows(); ++i) put_f64(payload, ref.vectors(i, j));
+
+  std::string blob(kMagic, 8);
+  put_u32(blob, kCacheVersion);
+  put_u64(blob, key.lo);
+  put_u64(blob, key.hi);
+  put_u64(blob, payload.size());
+  blob += payload;
+  const Hash128 sum = payload_checksum(payload.data(), payload.size());
+  put_u64(blob, sum.lo);
+  put_u64(blob, sum.hi);
+
+  // Unique temp name per producer, then atomic rename: concurrent stores of
+  // the same key race harmlessly (identical content) and readers never see
+  // a partial entry.
+  const std::uint64_t serial = tmp_counter_.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp =
+      dir_ + "/.tmp-" + key.hex() + "-" + std::to_string(serial) + "-" +
+      std::to_string(static_cast<std::uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (out) out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    // Flush before the rename: a deferred destructor flush could fail
+    // silently (disk full) and publish a truncated entry.
+    if (out) out.flush();
+    if (!out) {
+      std::fprintf(stderr, "warning: reference cache: cannot write '%s'\n", tmp.c_str());
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, entry_path(key), ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: reference cache: cannot publish '%s': %s\n",
+                 entry_path(key).c_str(), ec.message().c_str());
+    std::remove(tmp.c_str());
+    return;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+RefCacheStats ReferenceCache::stats() const noexcept {
+  RefCacheStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.rejects = rejects_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mfla

@@ -1,0 +1,82 @@
+// Persistent content-addressed cache of float128 reference solutions.
+//
+// The per-matrix reference eigenproblem (compute_reference, tolerance
+// 1e-20 in software quad arithmetic) dominates the wall-clock of a sweep,
+// yet its result depends only on the problem content: the CSR structure
+// and value bits of the matrix, the solver configuration, and the shared
+// start vector. This cache stores each ReferenceSolution under a 128-bit
+// hash of exactly that content (support/hash.hpp), so any later sweep over
+// the same matrix — a resumed run, a CI rerun, a format-subset rerun —
+// skips the quad solve entirely and is byte-identical to a cold one.
+//
+// Entry format (one file per key, named <hex key>.mfref inside the cache
+// directory): a fixed header (magic, version, key echo), a little-endian
+// binary payload carrying the exact double bit patterns of the eigenvalues
+// and Schur vectors (plus the ok flag and failure string), and a 128-bit
+// payload checksum. Loads are strict: wrong magic, version, key, size or
+// checksum rejects the entry with a warning and the caller recomputes (and
+// overwrites the bad entry). Stores write to a temporary file and rename,
+// so concurrent producers of the same key are safe and readers never see a
+// torn entry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "support/hash.hpp"
+
+namespace mfla {
+
+/// Counters for one ReferenceCache instance (monotone over its lifetime).
+struct RefCacheStats {
+  std::uint64_t lookups = 0;  // load() calls
+  std::uint64_t hits = 0;     // valid entries returned
+  std::uint64_t misses = 0;   // entry absent
+  std::uint64_t rejects = 0;  // entry present but failed validation
+  std::uint64_t stores = 0;   // entries written
+};
+
+/// Cache key: hash of the matrix bits (structure + values), the reference
+/// solver configuration, and the start-vector bits. Flipping any single
+/// input bit — one matrix value, one config field, one start component —
+/// yields a different key.
+[[nodiscard]] Hash128 reference_cache_key(const CsrMatrix<double>& matrix,
+                                          const ExperimentConfig& cfg,
+                                          const std::vector<double>& start);
+
+class ReferenceCache {
+ public:
+  /// Opens (creating if needed) the cache directory. Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit ReferenceCache(std::string directory);
+
+  /// Look up `key`; on a valid hit fills `ref` with the exact stored
+  /// solution (bit-identical doubles) and returns true. A corrupted,
+  /// truncated or version-mismatched entry warns on stderr, counts as a
+  /// reject and returns false — the caller recomputes and store()
+  /// overwrites the bad entry.
+  [[nodiscard]] bool load(const Hash128& key, ReferenceSolution& ref);
+
+  /// Persist `ref` under `key` (temp file + atomic rename). I/O failures
+  /// warn on stderr and are otherwise ignored: a sweep never fails because
+  /// its cache is unwritable.
+  void store(const Hash128& key, const ReferenceSolution& ref);
+
+  [[nodiscard]] RefCacheStats stats() const noexcept;
+  [[nodiscard]] const std::string& directory() const noexcept { return dir_; }
+  [[nodiscard]] std::string entry_path(const Hash128& key) const;
+
+ private:
+  std::string dir_;
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> rejects_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> tmp_counter_{0};
+};
+
+}  // namespace mfla

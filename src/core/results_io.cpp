@@ -289,6 +289,13 @@ std::uint64_t field_u64(const std::map<std::string, std::string>& obj, const cha
   return v;
 }
 
+/// Like field_num but with a default for absent keys (fields added after
+/// journals already existed in the wild, e.g. per-run durations).
+double field_num_or(const std::map<std::string, std::string>& obj, const char* key,
+                    double fallback) {
+  return obj.count(key) != 0 ? field_num(obj, key) : fallback;
+}
+
 std::string field_str(const std::map<std::string, std::string>& obj, const char* key) {
   const auto it = obj.find(key);
   if (it == obj.end()) throw std::invalid_argument(std::string("missing field ") + key);
@@ -382,6 +389,7 @@ void JournalWriter::write_run(const std::string& matrix, std::size_t n, std::siz
       .uint("nconv", run.nconverged)
       .integer("restarts", run.restarts)
       .uint("matvecs", run.matvecs)
+      .num("duration", run.duration_seconds)
       .str("failure", run.failure);
   append_line(j.finish());
 }
@@ -431,6 +439,7 @@ JournalContents read_journal(const std::string& path) {
         run.nconverged = field_u64(obj, "nconv");
         run.restarts = static_cast<int>(field_num(obj, "restarts"));
         run.matvecs = field_u64(obj, "matvecs");
+        run.duration_seconds = field_num_or(obj, "duration", 0.0);
         run.failure = field_str(obj, "failure");
         jc.runs.insert_or_assign({field_str(obj, "matrix"), run.format}, jr);
       } else {

@@ -24,14 +24,26 @@
 
 namespace mfla {
 
+/// Reflector scratch for hessenberg_reduce, reusable across calls (the
+/// Krylov–Schur solver re-reduces its Rayleigh matrix every restart).
+template <typename T>
+struct HessenbergScratch {
+  std::vector<T> v;  // reflector
+  std::vector<T> w;  // row-sum accumulator
+};
+
 /// In place: a becomes upper Hessenberg H = Q^T A Q; q (same size,
 /// pre-initialized, typically identity) becomes q·Q.
 /// Returns false if a non-finite value appeared (low-precision overflow).
+/// `scratch` buffers are resized here and recycled by repeat callers.
 template <typename T>
-bool hessenberg_reduce(DenseMatrix<T>& a, DenseMatrix<T>& q) {
+bool hessenberg_reduce(DenseMatrix<T>& a, DenseMatrix<T>& q, HessenbergScratch<T>& scratch) {
   const std::size_t n = a.rows();
   if (n <= 2) return true;
-  std::vector<T> v(n), w(n > q.rows() ? n : q.rows());
+  scratch.v.resize(n);
+  scratch.w.resize(n > q.rows() ? n : q.rows());
+  std::vector<T>& v = scratch.v;
+  std::vector<T>& w = scratch.w;
   for (std::size_t k = 0; k + 2 < n; ++k) {
     // Householder reflector annihilating a(k+2..n-1, k).
     T scale(0);
@@ -80,6 +92,13 @@ bool hessenberg_reduce(DenseMatrix<T>& a, DenseMatrix<T>& q) {
     for (std::size_t i = 0; i < n; ++i)
       if (!is_number(a(i, j))) return false;
   return true;
+}
+
+/// Convenience overload with throwaway scratch (one-off call sites).
+template <typename T>
+bool hessenberg_reduce(DenseMatrix<T>& a, DenseMatrix<T>& q) {
+  HessenbergScratch<T> scratch;
+  return hessenberg_reduce(a, q, scratch);
 }
 
 }  // namespace mfla

@@ -40,6 +40,23 @@ class DenseMatrix {
 
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Reshape in place, reusing the existing allocation when it suffices
+  /// (std::vector capacity is kept). Contents are unspecified afterwards —
+  /// this exists for workspace matrices that are fully overwritten before
+  /// use (e.g. the Krylov–Schur restart's Rayleigh/accumulator scratch).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// resize to n x n and load the identity.
+  void set_identity(std::size_t n) {
+    resize(n, n);
+    std::fill(data_.begin(), data_.end(), T(0));
+    for (std::size_t i = 0; i < n; ++i) (*this)(i, i) = T(1);
+  }
+
   /// Copy of the leading rows x cols block.
   [[nodiscard]] DenseMatrix top_left(std::size_t r, std::size_t c) const {
     assert(r <= rows_ && c <= cols_);

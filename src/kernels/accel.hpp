@@ -114,6 +114,16 @@ class Lut8 {
   }
   [[nodiscard]] double decode(Storage bits) const noexcept { return dec_[bits]; }
 
+  // Bit-domain surface for precomputed-offset kernels (kernels/spmv.hpp):
+  // an 8-bit SpMV can hoist `bits(a_k) << 8` out of the inner loop as a
+  // per-nonzero row offset, turning each multiply into mul_at(offset | x).
+  [[nodiscard]] Storage add_bits(Storage a, Storage b) const noexcept {
+    return add_[(static_cast<std::size_t>(a) << 8) | b];
+  }
+  [[nodiscard]] Storage mul_at(std::size_t row_offset_or_bits) const noexcept {
+    return mul_[row_offset_or_bits];
+  }
+
  private:
   Lut8() : add_(65536), mul_(65536), dec_(256) {
     for (unsigned a = 0; a < 256; ++a) {

@@ -85,15 +85,19 @@ template <typename T, class Ops>
   return c;
 }
 
+/// Core of update_basis: reads w(l, j) for l < wrows, j < keep (so callers
+/// can pass a taller matrix and use only its leading block, without the
+/// top_left copy), accumulates V * W into `scratch` and copies back.
+/// `scratch` is resized/zeroed here; recycling it across restarts makes the
+/// basis update allocation-free at steady state.
 template <typename T, class Ops>
-void update_basis_impl(DenseMatrix<T>& v, const DenseMatrix<T>& w, std::size_t keep,
-                       const Ops& ops) {
+void update_basis_impl(DenseMatrix<T>& v, const DenseMatrix<T>& w, std::size_t wrows,
+                       std::size_t keep, std::vector<T>& scratch, const Ops& ops) {
   const std::size_t n = v.rows();
-  const std::size_t m = w.rows();
-  DenseMatrix<T> tmp(n, keep);
+  scratch.assign(n * keep, T(0));
   for (std::size_t j = 0; j < keep; ++j) {
-    T* out = tmp.col(j);
-    for (std::size_t l = 0; l < m; ++l) {
+    T* out = scratch.data() + j * n;
+    for (std::size_t l = 0; l < wrows; ++l) {
       const T wlj = w(l, j);
       const T* vcol = v.col(l);
       for (std::size_t i = 0; i < n; ++i) out[i] = ops.add(out[i], ops.mul(vcol[i], wlj));
@@ -101,7 +105,7 @@ void update_basis_impl(DenseMatrix<T>& v, const DenseMatrix<T>& w, std::size_t k
   }
   for (std::size_t j = 0; j < keep; ++j) {
     T* dst = v.col(j);
-    const T* src = tmp.col(j);
+    const T* src = scratch.data() + j * n;
     for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
   }
 }
@@ -183,10 +187,21 @@ template <typename T>
 }
 
 /// Update the leading `keep` columns of V in place: V[:, :keep] := V * W,
-/// where W has V.cols() rows (or fewer) and `keep` columns.
+/// where only W's leading wrows x keep block participates (W may be larger;
+/// this avoids materializing top_left views). `scratch` is recycled across
+/// calls — the steady-state path allocates nothing.
+template <typename T>
+void update_basis(DenseMatrix<T>& v, const DenseMatrix<T>& w, std::size_t wrows,
+                  std::size_t keep, std::vector<T>& scratch) {
+  accel::with_ops<T>(
+      [&](const auto& ops) { detail::update_basis_impl(v, w, wrows, keep, scratch, ops); });
+}
+
+/// Convenience overload: whole W, throwaway scratch.
 template <typename T>
 void update_basis(DenseMatrix<T>& v, const DenseMatrix<T>& w, std::size_t keep) {
-  accel::with_ops<T>([&](const auto& ops) { detail::update_basis_impl(v, w, keep, ops); });
+  std::vector<T> scratch;
+  update_basis(v, w, w.rows(), keep, scratch);
 }
 
 /// Frobenius norm computed in double (used by tests / diagnostics only).

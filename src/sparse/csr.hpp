@@ -36,6 +36,7 @@ class CsrMatrix {
       m.col_idx_.push_back(t.col);
       m.values_.push_back(NumTraits<T>::from_double(t.value));
     }
+    m.rebuild_spmv_plan();
     return m;
   }
 
@@ -45,11 +46,38 @@ class CsrMatrix {
   [[nodiscard]] const std::vector<std::uint32_t>& row_ptr() const noexcept { return row_ptr_; }
   [[nodiscard]] const std::vector<std::uint32_t>& col_idx() const noexcept { return col_idx_; }
   [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
-  [[nodiscard]] std::vector<T>& values() noexcept { return values_; }
+  /// Explicit mutable access (there is deliberately no non-const values():
+  /// a read through it would silently cost the fast path). Mutation drops
+  /// the precomputed SpMV plan — it indexes the operation tables by value
+  /// bits — so matvec takes the generic kernel until rebuild_spmv_plan()
+  /// is called: slower, never incorrect.
+  [[nodiscard]] std::vector<T>& mutable_values() noexcept {
+    spmv_plan_.clear();
+    return values_;
+  }
 
-  /// y := A x, accumulated in T.
+  /// y := A x, accumulated in T. 8-bit formats with a current offset plan
+  /// take the precomputed-offset LUT kernel (bit-identical to the generic
+  /// dispatch; kernels/spmv.hpp).
   void matvec(const T* x, T* y) const {
+#if MFLA_ENABLE_LUT
+    if constexpr (kernels::spmv_plan_supported<T>()) {
+      if (spmv_plan_.size() == values_.size() && kernels::lut_enabled()) {
+        kernels::spmv_planned(rows_, row_ptr_.data(), col_idx_.data(), spmv_plan_.data(), x, y);
+        return;
+      }
+    }
+#endif
     kernels::spmv(rows_, row_ptr_.data(), col_idx_.data(), values_.data(), x, y);
+  }
+
+  /// (Re)compute the per-nonzero LUT row offsets (no-op for formats wider
+  /// than 8 bits). Called by the constructors; call manually after editing
+  /// values() in place.
+  void rebuild_spmv_plan() {
+    if constexpr (kernels::spmv_plan_supported<T>()) {
+      spmv_plan_ = kernels::build_spmv_plan(values_.data(), values_.size());
+    }
   }
 
   /// Entry lookup (binary search within the row — col_idx_ is sorted within
@@ -74,6 +102,7 @@ class CsrMatrix {
     for (const T& v : values_) {
       m.values_.push_back(NumTraits<U>::from_double(NumTraits<T>::to_double(v)));
     }
+    m.rebuild_spmv_plan();
     return m;
   }
 
@@ -85,6 +114,9 @@ class CsrMatrix {
   std::vector<std::uint32_t> row_ptr_{0};
   std::vector<std::uint32_t> col_idx_;
   std::vector<T> values_;
+  // Per-nonzero LUT row offsets (8-bit formats only; empty otherwise or
+  // after in-place value mutation). 2 bytes per nonzero.
+  std::vector<std::uint16_t> spmv_plan_;
 };
 
 /// Does any entry of the (double) matrix fall outside the representable

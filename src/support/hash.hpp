@@ -1,0 +1,153 @@
+// Stable 128-bit content hashing for cache keys and payload checksums.
+//
+// The reference-solution cache (core/reference_cache.hpp) addresses entries
+// by a hash of the exact problem content: CSR structure, value bits, solver
+// configuration and start-vector bits. Two properties matter there:
+//
+//  * stability — the digest is a value-level function of the fed words, not
+//    of memory layout, so it is identical across compilers, platforms and
+//    endiannesses (bytes are packed into words little-endian explicitly);
+//  * sensitivity — flipping any single input bit changes the digest (each
+//    word passes through two independently keyed multiply-xorshift lanes,
+//    MurmurHash3-style, cross-coupled at finalization).
+//
+// This is a content hash, not a cryptographic one: collisions are
+// astronomically unlikely by accident (128 bits) but constructible on
+// purpose, which is fine for a local cache of self-produced results.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mfla {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+
+  /// 32 lowercase hex digits, hi word first (usable as a file name).
+  [[nodiscard]] std::string hex() const {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string s(32, '0');
+    for (int i = 0; i < 16; ++i) {
+      s[static_cast<std::size_t>(i)] = digits[(hi >> (60 - 4 * i)) & 0xf];
+      s[static_cast<std::size_t>(16 + i)] = digits[(lo >> (60 - 4 * i)) & 0xf];
+    }
+    return s;
+  }
+};
+
+/// Streaming hasher: feed words and byte ranges, then finish().
+class Hasher {
+ public:
+  Hasher() = default;
+  explicit Hasher(std::uint64_t seed) noexcept : h1_(seed ^ kInit1), h2_(seed ^ kInit2) {}
+
+  Hasher& u64(std::uint64_t v) noexcept {
+    mix_word(v);
+    return *this;
+  }
+
+  Hasher& u32(std::uint32_t v) noexcept { return u64(v); }
+
+  Hasher& f64(double v) noexcept { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Hash a byte range by value: bytes are packed into 64-bit words
+  /// little-endian, the tail word is zero-padded, and the length is mixed
+  /// in, so "ab","c" and "a","bc" fed as separate ranges differ.
+  Hasher& bytes(const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) mix_word(load_le64(p + i));
+    if (i < len) {
+      std::uint64_t tail = 0;
+      for (std::size_t k = 0; i + k < len; ++k)
+        tail |= static_cast<std::uint64_t>(p[i + k]) << (8 * k);
+      mix_word(tail);
+    }
+    mix_word(0x9ddfea08eb382d69ull ^ len);  // length terminator
+    return *this;
+  }
+
+  Hasher& str(std::string_view s) noexcept { return bytes(s.data(), s.size()); }
+
+  template <typename U>
+    requires(sizeof(U) <= 8 && (std::unsigned_integral<U> || std::signed_integral<U>))
+  Hasher& span(const U* data, std::size_t count) noexcept {
+    for (std::size_t i = 0; i < count; ++i) mix_word(static_cast<std::uint64_t>(data[i]));
+    mix_word(0xa0761d6478bd642full ^ count);
+    return *this;
+  }
+
+  Hasher& span(const double* data, std::size_t count) noexcept {
+    for (std::size_t i = 0; i < count; ++i) mix_word(std::bit_cast<std::uint64_t>(data[i]));
+    mix_word(0xe7037ed1a0b428dbull ^ count);
+    return *this;
+  }
+
+  [[nodiscard]] Hash128 finish() const noexcept {
+    // Cross-couple the lanes and finalize (MurmurHash3 fmix64 twice).
+    std::uint64_t a = h1_ ^ words_;
+    std::uint64_t b = h2_ ^ (words_ * 0x9e3779b97f4a7c15ull);
+    a += b;
+    b += a;
+    a = fmix64(a);
+    b = fmix64(b);
+    a += b;
+    b += a;
+    return Hash128{a, b};
+  }
+
+ private:
+  static constexpr std::uint64_t kInit1 = 0x736f6d6570736575ull;
+  static constexpr std::uint64_t kInit2 = 0x646f72616e646f6dull;
+
+  [[nodiscard]] static std::uint64_t load_le64(const unsigned char* p) noexcept {
+    std::uint64_t v = 0;
+    for (int k = 0; k < 8; ++k) v |= static_cast<std::uint64_t>(p[k]) << (8 * k);
+    return v;
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t fmix64(std::uint64_t k) noexcept {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ull;
+    k ^= k >> 33;
+    return k;
+  }
+
+  void mix_word(std::uint64_t k) noexcept {
+    // MurmurHash3 x64_128 body with the two 64-bit lanes.
+    std::uint64_t k1 = k * 0x87c37b91114253d5ull;
+    k1 = rotl(k1, 31);
+    k1 *= 0x4cf5ad432745937full;
+    h1_ ^= k1;
+    h1_ = rotl(h1_, 27) + h2_;
+    h1_ = h1_ * 5 + 0x52dce729;
+
+    std::uint64_t k2 = k * 0x4cf5ad432745937full;
+    k2 = rotl(k2, 33);
+    k2 *= 0x87c37b91114253d5ull;
+    h2_ ^= k2;
+    h2_ = rotl(h2_, 31) + h1_;
+    h2_ = h2_ * 5 + 0x38495ab5;
+
+    ++words_;
+  }
+
+  std::uint64_t h1_ = kInit1;
+  std::uint64_t h2_ = kInit2;
+  std::uint64_t words_ = 0;
+};
+
+}  // namespace mfla

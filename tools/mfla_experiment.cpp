@@ -11,7 +11,13 @@
 //                   [--count N] [--nev K] [--buffer B] [--restarts R]
 //                   [--formats f16,bf16,p16,t16,...] [--out prefix]
 //                   [--threads N] [--checkpoint FILE] [--resume]
+//                   [--ref-cache DIR]
 //   mfla_experiment file1.mtx graph2.edges ...   (same options)
+//
+// --ref-cache DIR keeps a persistent content-addressed cache of the
+// float128 reference solutions, so repeated sweeps over the same matrices
+// (reruns, format subsets, CI) skip the software-quad solves entirely and
+// stay byte-identical to a cold run.
 //
 // Format keys: e4m3 e5m2 p8 t8 f16 bf16 p16 t16 f32 p32 t32 f64 p64 t64.
 #include <cerrno>
@@ -19,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,7 +53,7 @@ const std::map<std::string, FormatId>& format_keys() {
       stderr,
       "usage: mfla_experiment (--corpus NAME | files...) [--count N] [--nev K]\n"
       "       [--buffer B] [--restarts R] [--formats keys] [--out prefix]\n"
-      "       [--threads N] [--checkpoint FILE] [--resume]\n");
+      "       [--threads N] [--checkpoint FILE] [--resume] [--ref-cache DIR]\n");
   std::exit(2);
 }
 
@@ -142,6 +149,7 @@ int main(int argc, char** argv) {
   std::string corpus;
   std::string out_prefix = "out/experiment";
   std::string formats_spec = "f16,bf16,p16,t16,f32,p32,t32,f64,p64,t64";
+  std::string ref_cache_dir;
   std::size_t count = 24;
   ExperimentConfig cfg;
   cfg.max_restarts = 80;
@@ -174,6 +182,8 @@ int main(int argc, char** argv) {
       sched.checkpoint_path = next();
     } else if (arg == "--resume") {
       sched.resume = true;
+    } else if (arg == "--ref-cache") {
+      ref_cache_dir = next();
     } else if (arg == "--formats") {
       formats_spec = next();
     } else if (arg == "--out") {
@@ -238,8 +248,26 @@ int main(int argc, char** argv) {
   }
 
   std::vector<MatrixResult> results;
+  SweepStats stats;
+  sched.stats = &stats;
   try {
+    std::unique_ptr<ReferenceCache> cache;
+    if (!ref_cache_dir.empty()) {
+      cache = std::make_unique<ReferenceCache>(ref_cache_dir);
+      sched.ref_cache = cache.get();
+      std::printf("reference cache: %s\n", cache->directory().c_str());
+    }
     results = run_experiment(dataset, formats, cfg, sched);
+    if (cache) {
+      const RefCacheStats cs = cache->stats();
+      std::printf(
+          "reference cache: %llu hits, %llu misses, %llu stored, %llu rejected "
+          "(%.1fs of float128 solves%s)\n",
+          static_cast<unsigned long long>(cs.hits), static_cast<unsigned long long>(cs.misses),
+          static_cast<unsigned long long>(cs.stores),
+          static_cast<unsigned long long>(cs.rejects), stats.reference_seconds,
+          stats.reference_solves == 0 ? " — fully warm" : "");
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "\nerror: %s\n", e.what());
     return 1;
