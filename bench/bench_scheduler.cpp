@@ -8,6 +8,10 @@
 // worker that draws the large matrix serializes its whole format sweep
 // while the other workers idle; with task granularity its format runs fan
 // out as soon as the reference lands.
+//
+// The matrix-granularity baseline is the deprecated legacy path, exercised
+// here on purpose.
+#define MFLA_ALLOW_DEPRECATED
 #include <benchmark/benchmark.h>
 
 #include <cstdint>

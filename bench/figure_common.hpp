@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "mfla.hpp"
+#include "api/api.hpp"
 
 namespace mfla::benchtool {
 
@@ -31,13 +31,7 @@ inline std::size_t scaled(std::size_t n) {
 }
 
 /// The paper's format lineup (everything except the float128 reference).
-inline std::vector<FormatId> evaluation_formats() {
-  std::vector<FormatId> out;
-  for (const auto& f : all_formats()) {
-    if (f.id != FormatId::float128) out.push_back(f.id);
-  }
-  return out;
-}
+inline std::vector<FormatId> evaluation_formats() { return api::evaluation_formats(); }
 
 inline void run_figure(const std::string& figure_id, const std::string& title,
                        const std::vector<TestMatrix>& dataset) {
@@ -56,16 +50,15 @@ inline void run_figure(const std::string& figure_id, const std::string& title,
   }
   std::printf("\n\n");
 
-  ExperimentConfig cfg;
-  cfg.nev = 10;
-  cfg.buffer = 2;
-  cfg.max_restarts = 60;
-  cfg.reference_max_restarts = 150;
-
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto results = run_experiment(dataset, evaluation_formats(), cfg);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const api::SweepResult sweep = api::Sweep::over(dataset)
+                                     .formats(evaluation_formats())
+                                     .nev(10)
+                                     .buffer(2)
+                                     .restarts(60)
+                                     .reference_restarts(150)
+                                     .run();
+  const auto& results = sweep.results;
+  const double secs = sweep.elapsed_seconds;
 
   std::size_t ref_fail = 0;
   for (const auto& r : results) ref_fail += !r.reference_ok;

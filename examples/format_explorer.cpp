@@ -9,7 +9,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "mfla.hpp"
+#include "api/api.hpp"
 
 namespace {
 

@@ -1,10 +1,11 @@
 // graph_spectrum: spectral analysis of a synthetic social network across
 // number formats — the paper's §3.4 scenario in miniature. Runs the full
 // evaluation pipeline (reference in float128, Hungarian matching, error
-// classification) on a single graph and prints a per-format scorecard.
+// classification) on a single graph via the api::Sweep facade and prints
+// a per-format scorecard.
 #include <cstdio>
 
-#include "mfla.hpp"
+#include "api/api.hpp"
 
 int main() {
   using namespace mfla;
@@ -16,16 +17,15 @@ int main() {
       make_test_matrix("example_social", "social", "soc", graph_laplacian_pipeline(adjacency));
   std::printf("social graph Laplacian: n = %zu, nnz = %zu\n", tm.n(), tm.nnz());
 
-  ExperimentConfig cfg;
-  cfg.nev = 10;     // paper: the 10 largest eigenvalues
-  cfg.buffer = 2;   // plus 2 buffer pairs for the matching
-  cfg.max_restarts = 80;
-
-  std::vector<FormatId> formats;
-  for (const auto& f : all_formats()) {
-    if (f.id != FormatId::float128) formats.push_back(f.id);
-  }
-  const MatrixResult res = run_matrix(tm, formats, cfg);
+  // One-matrix sweep over the paper's full format lineup: nev=10 largest
+  // eigenvalues plus 2 buffer pairs for the matching.
+  const api::SweepResult sweep = api::Sweep::over({tm})
+                                     .formats(api::evaluation_formats())
+                                     .nev(10)
+                                     .buffer(2)
+                                     .restarts(80)
+                                     .run();
+  const MatrixResult& res = sweep.results.front();
   if (!res.reference_ok) {
     std::printf("reference solve failed: %s\n", res.reference_failure.c_str());
     return 1;

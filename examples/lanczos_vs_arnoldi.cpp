@@ -1,49 +1,18 @@
-// lanczos_vs_arnoldi: compare the general Krylov-Schur solver
-// (partialschur, Arnoldi-based — what the paper uses) with the
-// symmetric-specialized thick-restart Lanczos solver, across precisions.
+// lanczos_vs_arnoldi: compare the general Krylov-Schur solver (what the
+// paper uses) with the symmetric-specialized thick-restart Lanczos solver,
+// across precisions — as a pair of runtime api::Solver handles per format,
+// so the whole sweep is a loop over FormatIds instead of a template
+// instantiation per type.
 //
 // Both run with the same start vector and tolerances; on symmetric input
 // they converge to the same invariant subspace, but their restart
 // machinery differs (Francis QR real Schur vs Jacobi eigendecomposition),
 // which makes this a useful robustness cross-check per format.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
-#include "mfla.hpp"
-
-namespace {
-
-template <typename T>
-void compare(const char* name, const mfla::CsrMatrix<double>& a,
-             const std::vector<double>& start) {
-  using namespace mfla;
-  const auto at = a.convert<T>();
-  PartialSchurOptions opts;
-  opts.nev = 8;
-  opts.tolerance = NumTraits<T>::default_tolerance();
-  opts.max_restarts = 100;
-  opts.start_vector = &start;
-
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto arnoldi = partialschur<T>(at, opts);
-  const auto t1 = std::chrono::steady_clock::now();
-  const auto lanczos = lanczos_eigs<T>(at, opts);
-  const auto t2 = std::chrono::steady_clock::now();
-
-  double max_diff = 0.0;
-  const std::size_t k = std::min(arnoldi.eig_re.size(), lanczos.eig_re.size());
-  for (std::size_t i = 0; i < k; ++i) {
-    max_diff = std::max(max_diff, std::abs(arnoldi.eig_re[i] - lanczos.eig_re[i]));
-  }
-  std::printf("%-10s arnoldi: conv=%d r=%3d mv=%4zu (%5.0f ms) | lanczos: conv=%d r=%3d mv=%4zu "
-              "(%5.0f ms) | max eig diff %.2e\n",
-              name, arnoldi.converged, arnoldi.restarts, arnoldi.matvecs,
-              std::chrono::duration<double, std::milli>(t1 - t0).count(), lanczos.converged,
-              lanczos.restarts, lanczos.matvecs,
-              std::chrono::duration<double, std::milli>(t2 - t1).count(), max_diff);
-}
-
-}  // namespace
+#include "api/api.hpp"
 
 int main() {
   using namespace mfla;
@@ -53,15 +22,34 @@ int main() {
   std::printf("preferential-attachment graph Laplacian: n = %zu, nnz = %zu\n\n", a.rows(),
               a.nnz());
   Rng sr("start-vector");
-  const auto start = sr.unit_vector(a.rows());
 
-  compare<double>("float64", a, start);
-  compare<float>("float32", a, start);
-  compare<Takum32>("takum32", a, start);
-  compare<Posit32>("posit32", a, start);
-  compare<Float16>("float16", a, start);
-  compare<Takum16>("takum16", a, start);
-  compare<Posit16>("posit16", a, start);
-  compare<BFloat16>("bfloat16", a, start);
+  api::SolverOptions opts;
+  opts.nev = 8;
+  opts.max_restarts = 100;
+  opts.start_vector = sr.unit_vector(a.rows());
+
+  for (const FormatId format :
+       {FormatId::float64, FormatId::float32, FormatId::takum32, FormatId::posit32,
+        FormatId::float16, FormatId::takum16, FormatId::posit16, FormatId::bfloat16}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto arnoldi =
+        api::Solver::create(format, api::SolverKind::krylov_schur, opts).solve(a);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto lanczos = api::Solver::create(format, api::SolverKind::lanczos, opts).solve(a);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    double max_diff = 0.0;
+    const std::size_t k = std::min(arnoldi.eigenvalues.size(), lanczos.eigenvalues.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      max_diff = std::max(max_diff, std::abs(arnoldi.eigenvalues[i] - lanczos.eigenvalues[i]));
+    }
+    std::printf(
+        "%-10s arnoldi: conv=%d r=%3d mv=%4zu (%5.0f ms) | lanczos: conv=%d r=%3d mv=%4zu "
+        "(%5.0f ms) | max eig diff %.2e\n",
+        format_info(format).name.c_str(), arnoldi.converged, arnoldi.restarts, arnoldi.matvecs,
+        std::chrono::duration<double, std::milli>(t1 - t0).count(), lanczos.converged,
+        lanczos.restarts, lanczos.matvecs,
+        std::chrono::duration<double, std::milli>(t2 - t1).count(), max_diff);
+  }
   return 0;
 }

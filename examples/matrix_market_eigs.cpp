@@ -12,7 +12,7 @@
 #include <cstring>
 #include <string>
 
-#include "mfla.hpp"
+#include "api/api.hpp"
 
 namespace {
 
@@ -64,20 +64,28 @@ int main(int argc, char** argv) {
   TestMatrix tm = make_test_matrix(name, "general", "user", coo);
   std::printf("matrix '%s': n = %zu, nnz = %zu\n\n", name.c_str(), tm.n(), tm.nnz());
 
-  ExperimentConfig cfg;
-  cfg.nev = (argc > 2) ? static_cast<std::size_t>(std::atoi(argv[2])) : 10;
-  cfg.max_restarts = 100;
-  if (tm.n() < cfg.nev + cfg.buffer + 4) {
-    std::fprintf(stderr, "matrix too small for nev=%zu\n", cfg.nev);
+  const std::size_t nev = (argc > 2) ? static_cast<std::size_t>(std::atoi(argv[2])) : 10;
+  const std::size_t buffer = 2;
+  if (tm.n() < nev + buffer + 4) {
+    std::fprintf(stderr, "matrix too small for nev=%zu\n", nev);
     return 1;
   }
 
-  const std::vector<FormatId> formats = {
-      FormatId::ofp8_e4m3, FormatId::ofp8_e5m2, FormatId::posit8,  FormatId::takum8,
-      FormatId::float16,   FormatId::bfloat16,  FormatId::posit16, FormatId::takum16,
-      FormatId::float32,   FormatId::posit32,   FormatId::takum32, FormatId::float64,
-      FormatId::posit64,   FormatId::takum64};
-  const MatrixResult res = run_matrix(tm, formats, cfg);
+  // One-matrix sweep across the full format lineup (keys resolved by the
+  // registry — same strings the mfla_experiment CLI accepts).
+  api::SweepResult sweep;
+  try {
+    sweep = api::Sweep::over({tm})
+                .formats("e4m3,e5m2,p8,t8,f16,bf16,p16,t16,f32,p32,t32,f64,p64,t64")
+                .nev(nev)
+                .buffer(buffer)
+                .restarts(100)
+                .run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const MatrixResult& res = sweep.results.front();
   if (!res.reference_ok) {
     std::fprintf(stderr, "reference solve failed: %s\n", res.reference_failure.c_str());
     return 1;

@@ -1,12 +1,13 @@
-// Quickstart: compute the 10 largest eigenpairs of a graph Laplacian in a
-// low-precision format and compare against float64.
+// Quickstart: compute the 10 largest eigenpairs of a graph Laplacian in
+// low-precision formats and compare against float64 — using the runtime
+// Solver handles of the mfla::api facade (no templates at the call site).
 //
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j
 //   ./build/quickstart
 #include <cstdio>
 
-#include "mfla.hpp"
+#include "api/api.hpp"
 
 int main() {
   using namespace mfla;
@@ -19,28 +20,26 @@ int main() {
   const auto a64 = CsrMatrix<double>::from_coo(laplacian);
   std::printf("graph Laplacian: n = %zu, nnz = %zu\n\n", a64.rows(), a64.nnz());
 
-  // 2. Solve in float64 (baseline) and in bfloat16 (a 16-bit format).
-  PartialSchurOptions opts;
+  // 2. Solve in float64 (baseline) and two 16-bit formats. The format is a
+  //    runtime value; tolerance 0 means each format's default (1e-12 for
+  //    float64, 1e-4 for the 16-bit formats).
+  api::SolverOptions opts;
   opts.nev = 10;
   opts.which = Which::largest_magnitude;
-
-  opts.tolerance = NumTraits<double>::default_tolerance();  // 1e-12
-  const auto r64 = partialschur<double>(a64, opts);
-
-  const auto abf = a64.convert<BFloat16>();
-  opts.tolerance = NumTraits<BFloat16>::default_tolerance();  // 1e-4
-  const auto rbf = partialschur<BFloat16>(abf, opts);
-
-  const auto a16 = a64.convert<Takum16>();
-  const auto rt16 = partialschur<Takum16>(a16, opts);
+  auto eigs = [&](FormatId format) {
+    return api::Solver::create(format, api::SolverKind::krylov_schur, opts).solve(a64);
+  };
+  const auto r64 = eigs(FormatId::float64);
+  const auto rbf = eigs(FormatId::bfloat16);
+  const auto rt16 = eigs(FormatId::takum16);
 
   // 3. Compare eigenvalues.
   std::printf("%-4s %-16s %-16s %-16s\n", "#", "float64", "bfloat16", "takum16");
   for (std::size_t i = 0; i < 10; ++i) {
     std::printf("%-4zu %-16.10f %-16.10f %-16.10f\n", i,
-                i < r64.eig_re.size() ? r64.eig_re[i] : 0.0,
-                i < rbf.eig_re.size() ? rbf.eig_re[i] : 0.0,
-                i < rt16.eig_re.size() ? rt16.eig_re[i] : 0.0);
+                i < r64.eigenvalues.size() ? r64.eigenvalues[i] : 0.0,
+                i < rbf.eigenvalues.size() ? rbf.eigenvalues[i] : 0.0,
+                i < rt16.eigenvalues.size() ? rt16.eigenvalues[i] : 0.0);
   }
   std::printf("\nconverged: float64=%s (%d restarts), bfloat16=%s (%d), takum16=%s (%d)\n",
               r64.converged ? "yes" : "no", r64.restarts, rbf.converged ? "yes" : "no",

@@ -1,0 +1,22 @@
+// The mfla::api facade — the single supported entry point of the library.
+//
+// Include this header from applications, tools and examples:
+//
+//   * api::Sweep       — fluent builder over the multi-format evaluation
+//                        pipeline (api/sweep.hpp)
+//   * api::Solver      — runtime format/algorithm-polymorphic solver
+//                        handles (api/solver.hpp)
+//   * api::ResultSink  — composable output pipeline: Csv / Journal /
+//                        Memory / Progress / Multi sinks (api/sinks.hpp)
+//
+// The underlying library surface (formats, sparse/dense containers,
+// corpora, graph generators, reports) is re-exported via mfla.hpp so one
+// include serves a whole driver. Deep solver internals (partialschur,
+// run_experiment) remain reachable for power users but are deprecated as
+// entry points; see docs/API.md for the migration table.
+#pragma once
+
+#include "api/sinks.hpp"
+#include "api/solver.hpp"
+#include "api/sweep.hpp"
+#include "mfla.hpp"

@@ -1,0 +1,171 @@
+// The ResultSink pipeline: one composable observer interface behind every
+// output path of a sweep.
+//
+// A sweep emits a typed event stream — `on_meta` once before work starts,
+// `on_run` per format run completed by this invocation, `on_reference` per
+// failed float128 reference solve, `on_done` once with the assembled
+// SweepResult. The engine serializes on_run/on_reference under one lock, so
+// sinks observe a monotonically increasing `done` count and never run
+// concurrently with themselves or each other.
+//
+// Provided sinks: CsvSink (raw results CSV, byte-identical to
+// write_results_csv), JournalSink (JSONL event journal in the checkpoint
+// format), MemorySink (records everything, for tests and in-process
+// consumers), ProgressSink (stderr progress line with ETA), MultiSink
+// (fan-out). Sweep::sink() already fans out, so MultiSink is for nesting
+// pipelines inside code that only accepts a single sink.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arith/format_registry.hpp"
+#include "core/experiment.hpp"
+#include "core/results_io.hpp"
+
+namespace mfla::api {
+
+struct SweepResult;  // api/sweep.hpp
+
+/// Sweep identity, delivered once before any run event.
+struct SweepMeta {
+  ExperimentConfig config;
+  std::vector<FormatId> formats;
+  std::size_t matrix_count = 0;
+  /// Size of the whole sweep (matrix_count * formats). With resume, fewer
+  /// runs may execute; run events carry the per-invocation total.
+  std::size_t total_runs = 0;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  std::string checkpoint_path;
+  bool resume = false;
+  std::string cache_dir;
+};
+
+/// One completed (matrix, format) evaluation. Journal-replayed runs are not
+/// re-announced; `done`/`total` count this invocation's work only.
+struct RunEvent {
+  std::string matrix;
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+  FormatRun run;
+  std::size_t done = 0;
+  std::size_t total = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// A failed reference solve; the matrix is retired and its pending format
+/// runs are already counted into `done`.
+struct ReferenceEvent {
+  std::string matrix;
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+  std::string failure;
+  std::size_t done = 0;
+  std::size_t total = 0;
+  double elapsed_seconds = 0.0;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void on_meta(const SweepMeta&) {}
+  virtual void on_run(const RunEvent&) {}
+  virtual void on_reference(const ReferenceEvent&) {}
+  virtual void on_done(const SweepResult&) {}
+};
+
+/// Fan every event out to a list of child sinks, in registration order.
+class MultiSink final : public ResultSink {
+ public:
+  MultiSink() = default;
+  explicit MultiSink(std::vector<std::shared_ptr<ResultSink>> sinks);
+  MultiSink& add(std::shared_ptr<ResultSink> sink);
+
+  void on_meta(const SweepMeta& m) override;
+  void on_run(const RunEvent& e) override;
+  void on_reference(const ReferenceEvent& e) override;
+  void on_done(const SweepResult& r) override;
+
+ private:
+  std::vector<std::shared_ptr<ResultSink>> sinks_;
+};
+
+/// Writes the raw per-run results CSV at on_done — byte-identical to
+/// write_results_csv over the same results.
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::string path);
+  void on_done(const SweepResult& r) override;
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Streams the event log as a JSONL journal in the checkpoint format
+/// (meta / run / reference lines, flushed per event). Unlike
+/// Sweep::checkpoint() — which journals through the engine and powers
+/// resume — this sink just records; it always truncates its file.
+class JournalSink final : public ResultSink {
+ public:
+  explicit JournalSink(std::string path);
+  void on_meta(const SweepMeta& m) override;
+  void on_run(const RunEvent& e) override;
+  void on_reference(const ReferenceEvent& e) override;
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<JournalWriter> writer_;
+};
+
+/// Records every event in arrival order; for tests and in-process
+/// consumers. Internally locked, so it is safe even outside the engine's
+/// serialization guarantee.
+class MemorySink final : public ResultSink {
+ public:
+  enum class EventKind { meta, run, reference, done };
+
+  void on_meta(const SweepMeta& m) override;
+  void on_run(const RunEvent& e) override;
+  void on_reference(const ReferenceEvent& e) override;
+  void on_done(const SweepResult& r) override;
+
+  [[nodiscard]] std::vector<EventKind> order() const;
+  [[nodiscard]] bool has_meta() const;
+  [[nodiscard]] SweepMeta meta() const;
+  [[nodiscard]] std::vector<RunEvent> runs() const;
+  [[nodiscard]] std::vector<ReferenceEvent> references() const;
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] std::vector<MatrixResult> results() const;
+
+ private:
+  mutable std::mutex mtx_;
+  std::vector<EventKind> order_;
+  bool has_meta_ = false;
+  SweepMeta meta_;
+  std::vector<RunEvent> runs_;
+  std::vector<ReferenceEvent> references_;
+  bool done_ = false;
+  std::vector<MatrixResult> results_;
+};
+
+/// Renders the classic `runs done/total (pct) elapsed eta` line to a
+/// stream (default stderr), overwriting in place and finishing with a
+/// newline when the sweep completes.
+class ProgressSink final : public ResultSink {
+ public:
+  explicit ProgressSink(std::FILE* stream = stderr);
+  void on_run(const RunEvent& e) override;
+  void on_reference(const ReferenceEvent& e) override;
+
+ private:
+  void render(std::size_t done, std::size_t total, double elapsed_seconds);
+
+  std::FILE* stream_;
+};
+
+}  // namespace mfla::api

@@ -1,0 +1,86 @@
+// Runtime-polymorphic solver handles over the template solver cores.
+//
+// `Solver::create(FormatId, SolverKind, SolverOptions)` wraps the
+// `dispatch_format` template machinery so callers pick the arithmetic
+// format, the algorithm (Krylov-Schur Arnoldi vs thick-restart Lanczos),
+// the Ritz selection and the tolerance at runtime without ever naming a
+// scalar type. The matrix stays in double on the caller's side; the handle
+// converts to the target format internally — exactly what
+// `a.convert<T>()` + `partialschur<T>` / `lanczos_eigs<T>` would do, so
+// results are bit-identical to the template path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arith/format_registry.hpp"
+#include "core/krylov_schur.hpp"
+#include "dense/matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace mfla::api {
+
+/// Which solver core runs behind the handle.
+enum class SolverKind {
+  krylov_schur,  ///< partialschur(): IRAM with Krylov-Schur restarts (the paper's solver)
+  lanczos,       ///< lanczos_eigs(): thick-restart Lanczos (symmetric specialization)
+};
+
+[[nodiscard]] const char* solver_kind_name(SolverKind kind) noexcept;
+
+/// Runtime solver configuration; mirrors PartialSchurOptions but owns its
+/// start vector (no dangling pointers across calls).
+struct SolverOptions {
+  std::size_t nev = 10;
+  Which which = Which::largest_magnitude;
+  double tolerance = 0.0;  ///< 0: the format's default per-width tolerance
+  std::size_t mindim = 0;  ///< 0: max(10, nev)
+  std::size_t maxdim = 0;  ///< 0: max(20, 2*nev)
+  int max_restarts = 100;
+  std::uint64_t seed = 0x1234u;
+  /// Unit start vector shared across formats for comparability; empty
+  /// means a seeded random vector.
+  std::vector<double> start_vector;
+};
+
+/// Type-erased solve outcome: everything is converted to double (the
+/// arithmetic under study happened inside the solve; conversion is
+/// postprocessing, same as the experiment pipeline does).
+struct EigenResult {
+  bool converged = false;
+  std::size_t nconverged = 0;
+  int restarts = 0;
+  std::size_t matvecs = 0;
+  std::string failure;              ///< non-empty on hard failure / no convergence
+  std::vector<double> eigenvalues;  ///< real parts, diagonal order
+  std::vector<double> eigenvalues_im;
+  DenseMatrix<double> vectors;   ///< n x k Schur/eigen vectors
+  DenseMatrix<double> rayleigh;  ///< k x k quasi-triangular Rayleigh block
+};
+
+class Solver {
+ public:
+  /// Build a handle for `format` running `kind`. Throws
+  /// std::invalid_argument for an unknown format or kind.
+  [[nodiscard]] static Solver create(FormatId format, SolverKind kind, SolverOptions opts = {});
+
+  /// Convert `a` to the handle's format and solve. Thread-safe (const).
+  [[nodiscard]] EigenResult solve(const CsrMatrix<double>& a) const;
+
+  [[nodiscard]] FormatId format() const noexcept { return format_; }
+  [[nodiscard]] SolverKind kind() const noexcept { return kind_; }
+  /// Read-only: handles are immutable after create() so its validation
+  /// cannot be bypassed — build a new handle to change options.
+  [[nodiscard]] const SolverOptions& options() const noexcept { return opts_; }
+
+ private:
+  Solver(FormatId format, SolverKind kind, SolverOptions opts);
+
+  FormatId format_;
+  SolverKind kind_;
+  SolverOptions opts_;
+};
+
+}  // namespace mfla::api

@@ -1,0 +1,112 @@
+// The fluent sweep facade: the single supported entry point for running
+// the paper's multi-format evaluation pipeline.
+//
+//   auto result = api::Sweep::over(corpus)
+//                     .formats("f16,bf16,p16,t16")
+//                     .nev(10).buffer(2).restarts(80)
+//                     .threads(0)
+//                     .checkpoint("out/journal.jsonl")
+//                     .cache("out/refcache")
+//                     .sink(std::make_shared<api::CsvSink>("out/raw.csv"))
+//                     .run();
+//
+// Sweep subsumes the former three-struct sprawl (ExperimentConfig,
+// ScheduleOptions, PartialSchurOptions wiring) behind one builder,
+// validates the configuration up front (std::invalid_argument with a
+// precise message instead of a half-started sweep), and drives the
+// task-parallel engine with the ResultSink event pipeline attached.
+// Results are byte-identical to the legacy run_experiment +
+// write_results_csv path for the same corpus/config/threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/sinks.hpp"
+#include "core/experiment.hpp"
+#include "core/reference_cache.hpp"
+#include "datasets/test_matrix.hpp"
+
+namespace mfla::api {
+
+/// The paper's evaluation lineup: every registry format except the
+/// float128 reference, in presentation order.
+[[nodiscard]] std::vector<FormatId> evaluation_formats();
+
+/// Everything one sweep produced.
+struct SweepResult {
+  std::vector<MatrixResult> results;  ///< dataset order, one entry per matrix
+  SweepStats stats;                   ///< engine counters (solves, cache hits, stage seconds)
+  bool cache_attached = false;
+  RefCacheStats cache;           ///< zeroed unless cache_attached
+  double elapsed_seconds = 0.0;  ///< wall-clock of run()
+  /// Format runs executed by this invocation (0 when a resume replayed
+  /// everything from the journal).
+  std::size_t executed_runs = 0;
+
+  [[nodiscard]] const MatrixResult* find(const std::string& matrix) const;
+  [[nodiscard]] const FormatRun* find(const std::string& matrix, FormatId format) const;
+};
+
+class Sweep {
+ public:
+  /// Start a builder over a corpus (takes ownership; pass std::move for
+  /// large datasets).
+  [[nodiscard]] static Sweep over(std::vector<TestMatrix> corpus);
+
+  /// Formats to evaluate, in run order. The string overload parses
+  /// comma-separated registry keys ("f16,bf16,t16") and throws
+  /// std::invalid_argument on unknown or duplicate keys.
+  Sweep& formats(std::vector<FormatId> ids);
+  Sweep& formats(const std::string& keys);
+
+  // -- numerical configuration (ExperimentConfig) ---------------------------
+  Sweep& nev(std::size_t n);
+  Sweep& buffer(std::size_t b);
+  Sweep& which(Which w);
+  Sweep& restarts(int r);
+  Sweep& reference_restarts(int r);
+  Sweep& seed(std::uint64_t s);
+  Sweep& config(const ExperimentConfig& cfg);  ///< wholesale override
+
+  // -- engine configuration (ScheduleOptions) -------------------------------
+  Sweep& threads(std::size_t n);  ///< 0 = hardware concurrency
+  Sweep& checkpoint(std::string path);
+  Sweep& resume(bool on = true);
+  Sweep& cache(std::string directory);
+
+  // -- observers ------------------------------------------------------------
+  Sweep& sink(std::shared_ptr<ResultSink> s);
+  Sweep& progress(std::function<void(const ExperimentProgress&)> fn);
+
+  /// Validate and run. Throws std::invalid_argument on builder-state
+  /// errors (empty corpus/formats, duplicate formats, nev == 0, resume
+  /// without checkpoint, checkpoint directory that cannot exist) before
+  /// any work starts; engine errors (journal meta mismatch, I/O failures)
+  /// propagate as std::runtime_error.
+  [[nodiscard]] SweepResult run();
+
+  // Introspection (used by tests and the CLI).
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::vector<FormatId>& format_list() const noexcept { return formats_; }
+  [[nodiscard]] const std::vector<TestMatrix>& corpus() const noexcept { return corpus_; }
+
+ private:
+  Sweep() = default;
+
+  std::vector<TestMatrix> corpus_;
+  std::vector<FormatId> formats_;
+  ExperimentConfig cfg_;
+  std::size_t threads_ = 0;
+  std::string checkpoint_;
+  bool resume_ = false;
+  std::string cache_dir_;
+  std::vector<std::shared_ptr<ResultSink>> sinks_;
+  std::function<void(const ExperimentProgress&)> progress_;
+};
+
+}  // namespace mfla::api

@@ -6,21 +6,21 @@ namespace mfla {
 
 const std::vector<FormatInfo>& all_formats() {
   static const std::vector<FormatInfo> table = {
-      {FormatId::ofp8_e4m3, "OFP8 E4M3", 8, "ofp8"},
-      {FormatId::ofp8_e5m2, "OFP8 E5M2", 8, "ofp8"},
-      {FormatId::takum8, "takum8", 8, "takum"},
-      {FormatId::posit8, "posit8", 8, "posit"},
-      {FormatId::float16, "float16", 16, "ieee"},
-      {FormatId::takum16, "takum16", 16, "takum"},
-      {FormatId::posit16, "posit16", 16, "posit"},
-      {FormatId::bfloat16, "bfloat16", 16, "ieee"},
-      {FormatId::float32, "float32", 32, "ieee"},
-      {FormatId::takum32, "takum32", 32, "takum"},
-      {FormatId::posit32, "posit32", 32, "posit"},
-      {FormatId::float64, "float64", 64, "ieee"},
-      {FormatId::takum64, "takum64", 64, "takum"},
-      {FormatId::posit64, "posit64", 64, "posit"},
-      {FormatId::float128, "float128", 128, "ieee"},
+      {FormatId::ofp8_e4m3, "OFP8 E4M3", "e4m3", 8, "ofp8"},
+      {FormatId::ofp8_e5m2, "OFP8 E5M2", "e5m2", 8, "ofp8"},
+      {FormatId::takum8, "takum8", "t8", 8, "takum"},
+      {FormatId::posit8, "posit8", "p8", 8, "posit"},
+      {FormatId::float16, "float16", "f16", 16, "ieee"},
+      {FormatId::takum16, "takum16", "t16", 16, "takum"},
+      {FormatId::posit16, "posit16", "p16", 16, "posit"},
+      {FormatId::bfloat16, "bfloat16", "bf16", 16, "ieee"},
+      {FormatId::float32, "float32", "f32", 32, "ieee"},
+      {FormatId::takum32, "takum32", "t32", 32, "takum"},
+      {FormatId::posit32, "posit32", "p32", 32, "posit"},
+      {FormatId::float64, "float64", "f64", 64, "ieee"},
+      {FormatId::takum64, "takum64", "t64", 64, "takum"},
+      {FormatId::posit64, "posit64", "p64", 64, "posit"},
+      {FormatId::float128, "float128", "f128", 128, "ieee"},
   };
   return table;
 }
@@ -38,6 +38,66 @@ const FormatInfo& format_info(FormatId id) {
     if (f.id == id) return f;
   }
   throw std::invalid_argument("unknown format id");
+}
+
+const std::string& format_key(FormatId id) { return format_info(id).key; }
+
+namespace {
+
+/// The keys a sweep may select: everything except the float128 reference.
+std::string valid_keys_list() {
+  std::string keys;
+  for (const auto& f : all_formats()) {
+    if (f.id == FormatId::float128) continue;
+    if (!keys.empty()) keys += ' ';
+    keys += f.key;
+  }
+  return keys;
+}
+
+}  // namespace
+
+FormatId format_from_key(const std::string& key) {
+  for (const auto& f : all_formats()) {
+    if (f.key == key) return f.id;
+  }
+  throw std::invalid_argument("unknown format key '" + key + "' (valid keys: " +
+                              valid_keys_list() + ")");
+}
+
+FormatId format_from_name(const std::string& name) {
+  for (const auto& f : all_formats()) {
+    if (f.name == name) return f.id;
+  }
+  throw std::invalid_argument("unknown format '" + name + "'");
+}
+
+std::vector<FormatId> parse_format_keys(const std::string& spec) {
+  std::vector<FormatId> out;
+  std::string token;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ',') {
+      if (!token.empty()) {
+        const FormatId id = format_from_key(token);
+        if (id == FormatId::float128)
+          throw std::invalid_argument(
+              "'f128' is the float128 reference arithmetic; it cannot be selected as a "
+              "format under evaluation");
+        for (const FormatId seen : out) {
+          if (seen == id)
+            throw std::invalid_argument("duplicate format key '" + token + "'");
+        }
+        out.push_back(id);
+        token.clear();
+      }
+    } else {
+      token += spec[i];
+    }
+  }
+  if (out.empty())
+    throw std::invalid_argument("format list must name at least one key (valid keys: " +
+                                valid_keys_list() + ")");
+  return out;
 }
 
 }  // namespace mfla

@@ -3,6 +3,7 @@
 // scalar type (so the experiment driver can loop over formats).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,7 @@ enum class FormatId {
 struct FormatInfo {
   FormatId id;
   std::string name;    // e.g. "takum16"
+  std::string key;     // short CLI/API key, e.g. "t16"
   int bits;            // storage width
   std::string family;  // "ieee" | "ofp8" | "posit" | "takum"
 };
@@ -43,6 +45,24 @@ struct FormatInfo {
 [[nodiscard]] std::vector<FormatInfo> formats_for_width(int bits);
 
 [[nodiscard]] const FormatInfo& format_info(FormatId id);
+
+/// The short selection key of a format ("t16", "bf16", ...), as accepted
+/// by format_from_key and the mfla_experiment --formats option.
+[[nodiscard]] const std::string& format_key(FormatId id);
+
+/// Resolve a short key ("t16") to its FormatId. Unknown keys throw
+/// std::invalid_argument whose message lists every valid key.
+[[nodiscard]] FormatId format_from_key(const std::string& key);
+
+/// Resolve a full format name ("takum16") to its FormatId; throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] FormatId format_from_name(const std::string& name);
+
+/// Parse a comma-separated list of short keys ("f16,bf16,t16") into
+/// FormatIds. Empty lists, unknown keys, duplicate keys and "f128" (the
+/// reference arithmetic is not a format under evaluation) all throw
+/// std::invalid_argument with a message naming the offending token.
+[[nodiscard]] std::vector<FormatId> parse_format_keys(const std::string& spec);
 
 template <typename T>
 struct TypeTag {
@@ -69,7 +89,10 @@ decltype(auto) dispatch_format(FormatId id, Fn&& fn) {
     case FormatId::takum64: return fn(TypeTag<Takum64>{});
     case FormatId::float128: return fn(TypeTag<Quad>{});
   }
-  return fn(TypeTag<double>{});  // unreachable
+  // A FormatId forged from an out-of-range integer must not silently run
+  // the sweep in double; make it a hard error instead.
+  throw std::invalid_argument("dispatch_format: invalid FormatId " +
+                              std::to_string(static_cast<int>(id)));
 }
 
 }  // namespace mfla

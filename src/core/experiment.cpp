@@ -136,20 +136,39 @@ struct EngineState {
     sweep.format_seconds += seconds;
   }
 
-  void report(const std::function<void(const ExperimentProgress&)>& cb, std::size_t add) {
-    if (!cb) {
-      completed.fetch_add(add, std::memory_order_relaxed);
-      return;
-    }
-    // Increment and snapshot under the lock so callbacks see a
-    // monotonically increasing done count.
-    std::lock_guard<std::mutex> lk(progress_mtx);
+  /// Increment the done count by `add` and, with any observer installed,
+  /// snapshot the progress under the lock so callbacks see a monotonically
+  /// increasing done count and are serialized with each other.
+  ExperimentProgress advance(std::size_t add) {
     ExperimentProgress p;
     p.done = completed.fetch_add(add, std::memory_order_relaxed) + add;
     p.total = total;
     p.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    cb(p);
+    return p;
+  }
+
+  void complete_run(const ScheduleOptions& sched, const TestMatrix& tm, const FormatRun& run) {
+    if (!sched.on_progress && !sched.on_run) {
+      completed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::lock_guard<std::mutex> lk(progress_mtx);
+    const ExperimentProgress p = advance(1);
+    if (sched.on_run) sched.on_run(tm, run, p);
+    if (sched.on_progress) sched.on_progress(p);
+  }
+
+  void complete_reference_failure(const ScheduleOptions& sched, const TestMatrix& tm,
+                                  const std::string& failure, std::size_t retired) {
+    if (!sched.on_progress && !sched.on_reference_failure) {
+      completed.fetch_add(retired, std::memory_order_relaxed);
+      return;
+    }
+    std::lock_guard<std::mutex> lk(progress_mtx);
+    const ExperimentProgress p = advance(retired);
+    if (sched.on_reference_failure) sched.on_reference_failure(tm, failure, p);
+    if (sched.on_progress) sched.on_progress(p);
   }
 };
 
@@ -277,7 +296,7 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
           st.ref_failures[i] = ref->failure;
           if (st.journal)
             st.journal->write_reference_failure(tm.name, tm.n(), tm.nnz(), ref->failure);
-          st.report(sched.on_progress, pending[i].size());
+          st.complete_reference_failure(sched, tm, ref->failure, pending[i].size());
           return;
         }
         for (const std::size_t j : pending[i]) {
@@ -286,7 +305,7 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
             st.slots[i][j] = run_format_dynamic(tmj, *ref, cfg, *start, formats[j]);
             st.count_format(st.slots[i][j].duration_seconds);
             if (st.journal) st.journal->write_run(tmj.name, tmj.n(), tmj.nnz(), st.slots[i][j]);
-            st.report(sched.on_progress, 1);
+            st.complete_run(sched, tmj, st.slots[i][j]);
           });
         }
       });

@@ -30,6 +30,16 @@
 #include "sparse/csr.hpp"
 #include "support/rng.hpp"
 
+// Deprecation markers for the legacy free-function driver surface. The
+// supported entry point is the mfla::api layer (api/sweep.hpp); translation
+// units that deliberately exercise the legacy path (its tests) define
+// MFLA_ALLOW_DEPRECATED before including this header.
+#if defined(MFLA_ALLOW_DEPRECATED)
+#define MFLA_DEPRECATED(msg)
+#else
+#define MFLA_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
 namespace mfla {
 
 /// The paper's reference-solve tolerance (float128, §2.2). Shared by
@@ -147,7 +157,9 @@ FormatRun run_format(const TestMatrix& tm, const ReferenceSolution& ref,
                                            const std::vector<double>& start, FormatId id);
 
 /// Evaluate one matrix across a format list (reference solve + all formats,
-/// sequentially on the calling thread).
+/// sequentially on the calling thread). Deprecated shim: build a one-matrix
+/// sweep with mfla::api::Sweep instead (docs/API.md has the migration table).
+MFLA_DEPRECATED("use mfla::api::Sweep::over({tm}) (docs/API.md)")
 [[nodiscard]] MatrixResult run_matrix(const TestMatrix& tm, const std::vector<FormatId>& formats,
                                       const ExperimentConfig& cfg);
 
@@ -193,6 +205,16 @@ struct ScheduleOptions {
   SweepStats* stats = nullptr;
   /// Invoked (serialized) after each completed run; default: silent.
   std::function<void(const ExperimentProgress&)> on_progress;
+  /// Invoked (serialized, under the same lock as on_progress and before it)
+  /// with every format run completed by THIS invocation — journal-replayed
+  /// runs are not re-announced. This is the event stream the api layer's
+  /// ResultSink pipeline consumes.
+  std::function<void(const TestMatrix&, const FormatRun&, const ExperimentProgress&)> on_run;
+  /// Invoked (serialized, like on_run) when a reference solve fails and
+  /// retires its matrix; the progress snapshot already counts the retired
+  /// format runs as done.
+  std::function<void(const TestMatrix&, const std::string& failure, const ExperimentProgress&)>
+      on_reference_failure;
 };
 
 /// Evaluate a whole dataset on the task-parallel engine.
@@ -202,6 +224,8 @@ struct ScheduleOptions {
                                                        const ScheduleOptions& sched);
 
 /// Convenience overload: default engine options (all cores, no checkpoint).
+/// Deprecated shim: use mfla::api::Sweep, or pass ScheduleOptions{}.
+MFLA_DEPRECATED("use mfla::api::Sweep (docs/API.md)")
 [[nodiscard]] std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
                                                        const std::vector<FormatId>& formats,
                                                        const ExperimentConfig& cfg = {});

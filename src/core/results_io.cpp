@@ -31,13 +31,6 @@ RunOutcome outcome_from_name(const std::string& s) {
 
 namespace {
 
-FormatId format_from_name(const std::string& name) {
-  for (const auto& f : all_formats()) {
-    if (f.name == name) return f.id;
-  }
-  throw std::invalid_argument("unknown format '" + name + "'");
-}
-
 std::vector<std::string> split_csv(const std::string& line) {
   std::vector<std::string> out;
   std::string field;

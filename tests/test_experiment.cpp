@@ -1,5 +1,8 @@
 // End-to-end experiment pipeline tests: reference solve, per-format runs,
-// outcome classification (∞ω / ∞σ), distributions and reports.
+// outcome classification (∞ω / ∞σ), distributions and reports. These tests
+// pin the legacy free-function driver surface (run_matrix), which stays
+// supported behind the api facade.
+#define MFLA_ALLOW_DEPRECATED
 #include <gtest/gtest.h>
 
 #include <cstdio>

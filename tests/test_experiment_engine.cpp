@@ -1,6 +1,8 @@
 // Task-parallel engine tests: thread-count invariance (bit-identical CSVs),
 // checkpoint journal round-trips, resume after a simulated crash, meta
-// validation, and reference-failure journaling.
+// validation, and reference-failure journaling. Cross-checks against the
+// legacy run_matrix path deliberately.
+#define MFLA_ALLOW_DEPRECATED
 #include <gtest/gtest.h>
 
 #include <cstdio>

@@ -258,7 +258,7 @@ TEST(KernelAccel, ExperimentCsvByteIdenticalLutOnOff) {
 
   const auto run_to_csv = [&](bool lut_on, const std::string& tag) {
     LutGuard lut(lut_on);
-    const auto results = run_experiment(ds, formats, cfg);
+    const auto results = run_experiment(ds, formats, cfg, ScheduleOptions{});
     const std::string path = "test_out/kernel_accel_" + tag + ".csv";
     write_results_csv(path, results);
     std::string data = slurp(path);

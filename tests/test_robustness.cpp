@@ -1,6 +1,8 @@
 // Robustness / failure-injection tests: degenerate inputs, poisoned
 // values, overflow paths — the library must fail gracefully (reported
-// outcome, no crash, no silent garbage) in every case.
+// outcome, no crash, no silent garbage) in every case. Exercises the
+// legacy run_matrix path deliberately.
+#define MFLA_ALLOW_DEPRECATED
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -1,60 +1,88 @@
-// mfla_experiment: command-line driver for the paper's evaluation pipeline.
+// mfla_experiment: command-line driver for the paper's evaluation pipeline,
+// built entirely on the mfla::api facade (Sweep + ResultSink pipeline).
 //
 // Run the multi-format eigenvalue experiment on your own matrices or on
 // the built-in corpora, and write the raw per-run results + cumulative
 // distributions as CSV. Sweeps run on the task-parallel engine; with
 // --checkpoint every completed run is journaled so --resume restarts an
-// interrupted sweep with only the missing runs.
+// interrupted sweep with only the missing runs, and --ref-cache keeps a
+// persistent content-addressed cache of the float128 reference solutions.
 //
-// Usage:
-//   mfla_experiment --corpus general|biological|infrastructure|social|miscellaneous
-//                   [--count N] [--nev K] [--buffer B] [--restarts R]
-//                   [--formats f16,bf16,p16,t16,...] [--out prefix]
-//                   [--threads N] [--checkpoint FILE] [--resume]
-//                   [--ref-cache DIR]
-//   mfla_experiment file1.mtx graph2.edges ...   (same options)
-//
-// --ref-cache DIR keeps a persistent content-addressed cache of the
-// float128 reference solutions, so repeated sweeps over the same matrices
-// (reruns, format subsets, CI) skip the software-quad solves entirely and
-// stay byte-identical to a cold run.
-//
-// Format keys: e4m3 e5m2 p8 t8 f16 bf16 p16 t16 f32 p32 t32 f64 p64 t64.
+// Try: mfla_experiment --help, mfla_experiment --list-formats.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "mfla.hpp"
+#include "api/api.hpp"
 
 namespace {
 
 using namespace mfla;
 
-const std::map<std::string, FormatId>& format_keys() {
-  static const std::map<std::string, FormatId> keys = {
-      {"e4m3", FormatId::ofp8_e4m3}, {"e5m2", FormatId::ofp8_e5m2},
-      {"p8", FormatId::posit8},      {"t8", FormatId::takum8},
-      {"f16", FormatId::float16},    {"bf16", FormatId::bfloat16},
-      {"p16", FormatId::posit16},    {"t16", FormatId::takum16},
-      {"f32", FormatId::float32},    {"p32", FormatId::posit32},
-      {"t32", FormatId::takum32},    {"f64", FormatId::float64},
-      {"p64", FormatId::posit64},    {"t64", FormatId::takum64},
-  };
-  return keys;
-}
+const char* kDefaultFormats = "f16,bf16,p16,t16,f32,p32,t32,f64,p64,t64";
 
-[[noreturn]] void usage() {
+void print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: mfla_experiment (--corpus NAME | files...) [--count N] [--nev K]\n"
       "       [--buffer B] [--restarts R] [--formats keys] [--out prefix]\n"
-      "       [--threads N] [--checkpoint FILE] [--resume] [--ref-cache DIR]\n");
+      "       [--threads N] [--checkpoint FILE] [--resume] [--ref-cache DIR]\n"
+      "       [--list-formats] [--help]\n");
+}
+
+[[noreturn]] void usage_error() {
+  print_usage(stderr);
   std::exit(2);
+}
+
+[[noreturn]] void print_help() {
+  print_usage(stdout);
+  std::printf(
+      "\nRun the paper's multi-format IRAM evaluation pipeline: for every\n"
+      "(matrix, format) pair, solve the partial eigenproblem in that format,\n"
+      "match eigenpairs against a float128 reference and classify the outcome\n"
+      "(ok / no convergence / dynamic range exceeded). Results are written as\n"
+      "one raw CSV plus per-width cumulative error distribution CSVs.\n"
+      "\ninputs:\n"
+      "  --corpus NAME      built-in dataset: general (synthetic SuiteSparse\n"
+      "                     stand-in) or biological|infrastructure|social|\n"
+      "                     miscellaneous (graph corpora)\n"
+      "  files...           .mtx Matrix Market files (symmetrized if needed) or\n"
+      "                     .edges edge lists (converted to graph Laplacians)\n"
+      "\noptions:\n"
+      "  --count N          matrices per corpus class (default 24)\n"
+      "  --nev K            eigenpairs scored per run (default 10)\n"
+      "  --buffer B         extra pairs computed for matching (default 2)\n"
+      "  --restarts R       per-format restart budget (default 80)\n"
+      "  --formats keys     comma-separated format keys (default\n"
+      "                     %s;\n"
+      "                     see --list-formats)\n"
+      "  --out prefix       CSV output prefix (default out/experiment)\n"
+      "  --threads N        worker threads; 0 = all cores (default 0)\n"
+      "  --checkpoint FILE  JSONL journal; every completed run is appended\n"
+      "                     and flushed\n"
+      "  --resume           replay the checkpoint journal and run only the\n"
+      "                     missing runs (requires --checkpoint)\n"
+      "  --ref-cache DIR    persistent cache of float128 reference solutions;\n"
+      "                     warm reruns skip the quad solves entirely\n"
+      "  --list-formats     print the format table (key, name, bits, family)\n"
+      "  --help, -h         this help\n",
+      kDefaultFormats);
+  std::exit(0);
+}
+
+[[noreturn]] void print_format_table() {
+  std::printf("%-6s %-10s %5s  %s\n", "key", "name", "bits", "family");
+  for (const auto& f : all_formats()) {
+    std::printf("%-6s %-10s %5d  %s%s\n", f.key.c_str(), f.name.c_str(), f.bits,
+                f.family.c_str(),
+                f.id == FormatId::float128 ? "  (reference arithmetic; not selectable)" : "");
+  }
+  std::exit(0);
 }
 
 /// Strict non-negative integer parse; anything else (garbage, trailing
@@ -70,40 +98,9 @@ std::uint64_t parse_uint(const char* option, const std::string& value, std::uint
   if (bad) {
     std::fprintf(stderr, "invalid value '%s' for %s (expected a non-negative integer <= %llu)\n",
                  value.c_str(), option, static_cast<unsigned long long>(max));
-    usage();
+    usage_error();
   }
   return v;
-}
-
-std::vector<FormatId> parse_formats(const std::string& spec) {
-  std::vector<FormatId> out;
-  std::string token;
-  for (std::size_t i = 0; i <= spec.size(); ++i) {
-    if (i == spec.size() || spec[i] == ',') {
-      if (!token.empty()) {
-        const auto it = format_keys().find(token);
-        if (it == format_keys().end()) {
-          std::fprintf(stderr, "unknown format key '%s'\n", token.c_str());
-          std::exit(2);
-        }
-        for (const FormatId seen : out) {
-          if (seen == it->second) {
-            std::fprintf(stderr, "duplicate format key '%s' in --formats\n", token.c_str());
-            std::exit(2);
-          }
-        }
-        out.push_back(it->second);
-        token.clear();
-      }
-    } else {
-      token += spec[i];
-    }
-  }
-  if (out.empty()) {
-    std::fprintf(stderr, "--formats must name at least one format key\n");
-    std::exit(2);
-  }
-  return out;
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -111,50 +108,18 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-std::string format_eta(double seconds) {
-  if (seconds < 0) seconds = 0;
-  const auto total = static_cast<long long>(seconds + 0.5);
-  char buf[32];
-  if (total >= 3600) {
-    std::snprintf(buf, sizeof buf, "%lldh%02lldm", total / 3600, (total % 3600) / 60);
-  } else if (total >= 60) {
-    std::snprintf(buf, sizeof buf, "%lldm%02llds", total / 60, total % 60);
-  } else {
-    std::snprintf(buf, sizeof buf, "%llds", total);
-  }
-  return buf;
-}
-
-void print_progress(const ExperimentProgress& p) {
-  if (p.total == 0) return;
-  const double frac = static_cast<double>(p.done) / static_cast<double>(p.total);
-  std::string line = "runs " + std::to_string(p.done) + "/" + std::to_string(p.total);
-  char pct[16];
-  std::snprintf(pct, sizeof pct, " (%3.0f%%)", 100.0 * frac);
-  line += pct;
-  line += "  elapsed " + format_eta(p.elapsed_seconds);
-  if (p.done > 0 && p.done < p.total) {
-    const double eta =
-        p.elapsed_seconds * static_cast<double>(p.total - p.done) / static_cast<double>(p.done);
-    line += "  eta " + format_eta(eta);
-  }
-  std::fprintf(stderr, "\r%-60s", line.c_str());
-  if (p.done == p.total) std::fprintf(stderr, "\n");
-  std::fflush(stderr);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string corpus;
   std::string out_prefix = "out/experiment";
-  std::string formats_spec = "f16,bf16,p16,t16,f32,p32,t32,f64,p64,t64";
+  std::string formats_spec = kDefaultFormats;
   std::string ref_cache_dir;
+  std::string checkpoint_path;
+  bool resume = false;
   std::size_t count = 24;
-  ExperimentConfig cfg;
-  cfg.max_restarts = 80;
-  ScheduleOptions sched;
-  sched.on_progress = print_progress;
+  std::size_t nev = 10, buffer = 2, threads = 0;
+  int max_restarts = 80;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -162,7 +127,7 @@ int main(int argc, char** argv) {
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        usage();
+        usage_error();
       }
       return argv[++i];
     };
@@ -171,36 +136,48 @@ int main(int argc, char** argv) {
     } else if (arg == "--count") {
       count = static_cast<std::size_t>(parse_uint("--count", next(), 1000000));
     } else if (arg == "--nev") {
-      cfg.nev = static_cast<std::size_t>(parse_uint("--nev", next(), 10000));
+      nev = static_cast<std::size_t>(parse_uint("--nev", next(), 10000));
     } else if (arg == "--buffer") {
-      cfg.buffer = static_cast<std::size_t>(parse_uint("--buffer", next(), 10000));
+      buffer = static_cast<std::size_t>(parse_uint("--buffer", next(), 10000));
     } else if (arg == "--restarts") {
-      cfg.max_restarts = static_cast<int>(parse_uint("--restarts", next(), 1000000));
+      max_restarts = static_cast<int>(parse_uint("--restarts", next(), 1000000));
     } else if (arg == "--threads") {
-      sched.threads = static_cast<std::size_t>(parse_uint("--threads", next(), 4096));
+      threads = static_cast<std::size_t>(parse_uint("--threads", next(), 4096));
     } else if (arg == "--checkpoint") {
-      sched.checkpoint_path = next();
+      checkpoint_path = next();
     } else if (arg == "--resume") {
-      sched.resume = true;
+      resume = true;
     } else if (arg == "--ref-cache") {
       ref_cache_dir = next();
     } else if (arg == "--formats") {
       formats_spec = next();
     } else if (arg == "--out") {
       out_prefix = next();
+    } else if (arg == "--list-formats") {
+      print_format_table();
     } else if (arg == "--help" || arg == "-h") {
-      usage();
+      print_help();
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      usage();
+      usage_error();
     } else {
       files.push_back(arg);
     }
   }
-  if (corpus.empty() && files.empty()) usage();
-  if (sched.resume && sched.checkpoint_path.empty()) {
+  if (corpus.empty() && files.empty()) usage_error();
+  if (resume && checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
-    usage();
+    usage_error();
+  }
+
+  // Formats come straight from the registry; unknown or duplicate keys are
+  // rejected with the list of valid ones.
+  std::vector<FormatId> formats;
+  try {
+    formats = parse_format_keys(formats_spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--formats: %s\n", e.what());
+    return 2;
   }
 
   // Assemble the dataset.
@@ -236,50 +213,50 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::vector<FormatId> formats = parse_formats(formats_spec);
-  const std::string threads_desc =
-      sched.threads == 0 ? "auto" : std::to_string(sched.threads);
+  const std::string threads_desc = threads == 0 ? "auto" : std::to_string(threads);
   std::printf("running %zu matrices x %zu formats (nev=%zu buffer=%zu restarts=%d threads=%s)\n",
-              dataset.size(), formats.size(), cfg.nev, cfg.buffer, cfg.max_restarts,
-              threads_desc.c_str());
-  if (!sched.checkpoint_path.empty()) {
-    std::printf("checkpoint journal: %s%s\n", sched.checkpoint_path.c_str(),
-                sched.resume ? " (resuming)" : "");
+              dataset.size(), formats.size(), nev, buffer, max_restarts, threads_desc.c_str());
+  if (!checkpoint_path.empty()) {
+    std::printf("checkpoint journal: %s%s\n", checkpoint_path.c_str(),
+                resume ? " (resuming)" : "");
   }
+  if (!ref_cache_dir.empty()) std::printf("reference cache: %s\n", ref_cache_dir.c_str());
 
-  std::vector<MatrixResult> results;
-  SweepStats stats;
-  sched.stats = &stats;
+  api::SweepResult result;
   try {
-    std::unique_ptr<ReferenceCache> cache;
-    if (!ref_cache_dir.empty()) {
-      cache = std::make_unique<ReferenceCache>(ref_cache_dir);
-      sched.ref_cache = cache.get();
-      std::printf("reference cache: %s\n", cache->directory().c_str());
-    }
-    results = run_experiment(dataset, formats, cfg, sched);
-    if (cache) {
-      const RefCacheStats cs = cache->stats();
-      std::printf(
-          "reference cache: %llu hits, %llu misses, %llu stored, %llu rejected "
-          "(%.1fs of float128 solves%s)\n",
-          static_cast<unsigned long long>(cs.hits), static_cast<unsigned long long>(cs.misses),
-          static_cast<unsigned long long>(cs.stores),
-          static_cast<unsigned long long>(cs.rejects), stats.reference_seconds,
-          stats.reference_solves == 0 ? " — fully warm" : "");
-    }
+    api::Sweep sweep = api::Sweep::over(std::move(dataset));
+    sweep.formats(formats)
+        .nev(nev)
+        .buffer(buffer)
+        .restarts(max_restarts)
+        .threads(threads)
+        .sink(std::make_shared<api::ProgressSink>(stderr))
+        .sink(std::make_shared<api::CsvSink>(out_prefix + "_raw.csv"));
+    if (!checkpoint_path.empty()) sweep.checkpoint(checkpoint_path).resume(resume);
+    if (!ref_cache_dir.empty()) sweep.cache(ref_cache_dir);
+    result = sweep.run();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "\nerror: %s\n", e.what());
     return 1;
   }
 
-  write_results_csv(out_prefix + "_raw.csv", results);
+  if (result.cache_attached) {
+    const RefCacheStats cs = result.cache;
+    std::printf(
+        "reference cache: %llu hits, %llu misses, %llu stored, %llu rejected "
+        "(%.1fs of float128 solves%s)\n",
+        static_cast<unsigned long long>(cs.hits), static_cast<unsigned long long>(cs.misses),
+        static_cast<unsigned long long>(cs.stores), static_cast<unsigned long long>(cs.rejects),
+        result.stats.reference_seconds,
+        result.stats.reference_solves == 0 ? " — fully warm" : "");
+  }
+
   for (const int bits : {8, 16, 32, 64}) {
     std::vector<Distribution> eig, vec;
     for (const auto& f : formats) {
       if (format_info(f).bits != bits) continue;
-      eig.push_back(build_distribution(results, f, false));
-      vec.push_back(build_distribution(results, f, true));
+      eig.push_back(build_distribution(result.results, f, false));
+      vec.push_back(build_distribution(result.results, f, true));
     }
     if (eig.empty()) continue;
     std::printf("%s", summary_table(eig, std::to_string(bits) + "-bit eigenvalues").c_str());

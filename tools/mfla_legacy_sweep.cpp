@@ -1,0 +1,85 @@
+// mfla_legacy_sweep: verification harness that drives the LEGACY free-
+// function pipeline (run_experiment + write_results_csv) directly, without
+// the mfla::api facade. CI runs it next to mfla_experiment on the same
+// corpus/config/threads and asserts the raw results CSVs are byte-
+// identical — the proof that the api layer is a pure facade over the
+// engine, not a reimplementation.
+//
+// Options are a subset of mfla_experiment's:
+//   mfla_legacy_sweep --corpus NAME [--count N] [--nev K] [--buffer B]
+//                     [--restarts R] [--formats keys] [--threads N]
+//                     [--out prefix]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mfla.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfla;
+  std::string corpus;
+  std::string out_prefix = "out/legacy";
+  std::string formats_spec = "f16,bf16,p16,t16,f32,p32,t32,f64,p64,t64";
+  std::size_t count = 24;
+  ExperimentConfig cfg;
+  cfg.max_restarts = 80;
+  ScheduleOptions sched;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--corpus") {
+      corpus = next();
+    } else if (arg == "--count") {
+      count = static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--nev") {
+      cfg.nev = static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--buffer") {
+      cfg.buffer = static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--restarts") {
+      cfg.max_restarts = static_cast<int>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--threads") {
+      sched.threads = static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--formats") {
+      formats_spec = next();
+    } else if (arg == "--out") {
+      out_prefix = next();
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "usage: mfla_legacy_sweep --corpus NAME [options]\n");
+    return 2;
+  }
+
+  try {
+    std::vector<TestMatrix> dataset;
+    if (corpus == "general") {
+      GeneralCorpusOptions opts;
+      opts.count = count;
+      dataset = build_general_corpus(opts);
+    } else {
+      GraphCorpusOptions opts;
+      opts.counts = {count, count, count, count};
+      dataset = build_graph_corpus(opts, corpus);
+    }
+    const std::vector<FormatId> formats = parse_format_keys(formats_spec);
+    const auto results = run_experiment(dataset, formats, cfg, sched);
+    write_results_csv(out_prefix + "_raw.csv", results);
+    std::printf("legacy path: %zu matrices x %zu formats -> %s_raw.csv\n", dataset.size(),
+                formats.size(), out_prefix.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
