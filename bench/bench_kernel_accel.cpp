@@ -1,13 +1,19 @@
-// Exact-engine vs LUT fast-path throughput of the kernel layer
-// (kernels/accel.hpp) per format and width: dot, axpy and sparse matvec
-// for every accelerated format. The acceptance bar is a >= 3x speedup on
-// all three kernels for the four 8-bit formats; the 16-bit decode-table
-// paths are measured alongside for the performance trajectory.
+// Exact-engine vs LUT vs SIMD throughput of the kernel layer
+// (kernels/accel.hpp, kernels/simd_avx2.hpp) per format and width: dot,
+// axpy and sparse matvec for every accelerated format, plus the
+// multi-vector primitives (spmm, dot_block) against k single-vector calls.
+// The acceptance bar is a >= 3x speedup of the LUT paths over the exact
+// engines on all three kernels for the four 8-bit formats; the SIMD series
+// measures the third tier on top (see docs/PERFORMANCE.md for what should
+// and should not be expected to move — single-vector dot is chain-latency
+// bound, the batched primitives are where the lanes pay).
 //
-// Exact timings use kernels::ref:: (always the exact engines); LUT timings
-// use the dispatching kernels with the runtime switch forced on. In an
-// MFLA_ENABLE_LUT=0 build the dispatching kernels equal ref::, so the
-// "Lut" series degenerates to a second exact measurement.
+// Exact timings use kernels::ref:: (always the exact engines); lut timings
+// force the table switch on and the SIMD switch off; simd timings force
+// both on (degenerating to the lut series when the host lacks AVX2 — every
+// simd-mode benchmark carries the active ISA as its label, "avx2" or
+// "scalar", so results from different hosts stay interpretable). In an
+// MFLA_ENABLE_LUT=0 build all three series are exact measurements.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -15,6 +21,7 @@
 #include "graph/generators.hpp"
 #include "graph/laplacian.hpp"
 #include "kernels/accel.hpp"
+#include "kernels/simd.hpp"
 #include "kernels/spmv.hpp"
 #include "kernels/vector_ops.hpp"
 #include "sparse/csr.hpp"
@@ -23,6 +30,28 @@
 namespace {
 
 using namespace mfla;
+
+enum class Mode { exact, lut, simd };
+
+/// Force the runtime switches for one benchmark run.
+class ModeGuard {
+ public:
+  explicit ModeGuard(Mode m)
+      : lut_prev_(kernels::set_lut_enabled(m != Mode::exact)),
+        simd_prev_(kernels::set_simd_enabled(m == Mode::simd)) {}
+  ~ModeGuard() {
+    kernels::set_simd_enabled(simd_prev_);
+    kernels::set_lut_enabled(lut_prev_);
+  }
+
+ private:
+  bool lut_prev_;
+  bool simd_prev_;
+};
+
+void label_isa(benchmark::State& state, Mode m) {
+  if (m == Mode::simd) state.SetLabel(kernels::simd_caps().isa);
+}
 
 template <typename T>
 std::vector<T> random_vec(std::size_t n, std::uint64_t seed) {
@@ -41,83 +70,161 @@ CsrMatrix<T> bench_matrix(std::size_t n) {
   return CsrMatrix<double>::from_coo(lap).convert<T>();
 }
 
-template <typename T, bool kLut>
+template <typename T, Mode kMode>
 void BM_Dot(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto x = random_vec<T>(n, 1);
   const auto y = random_vec<T>(n, 2);
-  const bool prev = kernels::set_lut_enabled(kLut);
+  const ModeGuard guard(kMode);
   for (auto _ : state) {
-    if constexpr (kLut) {
-      benchmark::DoNotOptimize(kernels::dot(n, x.data(), y.data()));
-    } else {
+    if constexpr (kMode == Mode::exact) {
       benchmark::DoNotOptimize(kernels::ref::dot(n, x.data(), y.data()));
+    } else {
+      benchmark::DoNotOptimize(kernels::dot(n, x.data(), y.data()));
     }
   }
-  kernels::set_lut_enabled(prev);
+  label_isa(state, kMode);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
 
-template <typename T, bool kLut>
+template <typename T, Mode kMode>
 void BM_Axpy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto x = random_vec<T>(n, 3);
   auto y = random_vec<T>(n, 4);
   const T alpha = NumTraits<T>::from_double(0.37);
-  const bool prev = kernels::set_lut_enabled(kLut);
+  const ModeGuard guard(kMode);
   for (auto _ : state) {
-    if constexpr (kLut) {
-      kernels::axpy(n, alpha, x.data(), y.data());
-    } else {
+    if constexpr (kMode == Mode::exact) {
       kernels::ref::axpy(n, alpha, x.data(), y.data());
+    } else {
+      kernels::axpy(n, alpha, x.data(), y.data());
     }
     benchmark::DoNotOptimize(y.data());
   }
-  kernels::set_lut_enabled(prev);
+  label_isa(state, kMode);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
 
-template <typename T, bool kLut>
+template <typename T, Mode kMode>
 void BM_SpMV(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto a = bench_matrix<T>(n);
-  const auto x = random_vec<T>(a.rows(), 5);
+  const auto x = random_vec<T>(a.cols(), 5);
   std::vector<T> y(a.rows());
-  const bool prev = kernels::set_lut_enabled(kLut);
+  const ModeGuard guard(kMode);
   for (auto _ : state) {
-    if constexpr (kLut) {
-      kernels::spmv(a.rows(), a.row_ptr().data(), a.col_idx().data(), a.values().data(),
-                    x.data(), y.data());
-    } else {
+    if constexpr (kMode == Mode::exact) {
       kernels::ref::spmv(a.rows(), a.row_ptr().data(), a.col_idx().data(), a.values().data(),
                          x.data(), y.data());
+    } else {
+      // Through the matrix so the offset plan (and, in simd mode, the
+      // SELL-8 slice plan) is in play — that is the path solvers run.
+      a.matvec(x.data(), y.data());
     }
     benchmark::DoNotOptimize(y.data());
   }
-  kernels::set_lut_enabled(prev);
+  label_isa(state, kMode);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(a.nnz()));
 }
 
-#define MFLA_ACCEL_BENCH(T)                                          \
-  BENCHMARK_TEMPLATE(BM_Dot, T, false)->Name("Dot/exact/" #T)->Arg(4096);   \
-  BENCHMARK_TEMPLATE(BM_Dot, T, true)->Name("Dot/lut/" #T)->Arg(4096);      \
-  BENCHMARK_TEMPLATE(BM_Axpy, T, false)->Name("Axpy/exact/" #T)->Arg(4096); \
-  BENCHMARK_TEMPLATE(BM_Axpy, T, true)->Name("Axpy/lut/" #T)->Arg(4096);    \
-  BENCHMARK_TEMPLATE(BM_SpMV, T, false)->Name("SpMV/exact/" #T)->Arg(512);  \
-  BENCHMARK_TEMPLATE(BM_SpMV, T, true)->Name("SpMV/lut/" #T)->Arg(512)
+// -- Multi-vector primitives vs k single-vector calls -----------------------
+// Both sides run under the same mode; the comparison isolates what one
+// amortized traversal buys at each tier (range(1) = k).
 
-// The four 8-bit formats (acceptance: >= 3x on dot/axpy/spmv for all).
+template <typename T, Mode kMode, bool kBlocked>
+void BM_SpMM(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto a = bench_matrix<T>(n);
+  const auto x = random_vec<T>(k * a.cols(), 6);
+  std::vector<T> y(k * a.rows());
+  const ModeGuard guard(kMode);
+  for (auto _ : state) {
+    if constexpr (kBlocked) {
+      a.matvec_block(x.data(), a.cols(), k, y.data(), a.rows());
+    } else {
+      for (std::size_t c = 0; c < k; ++c)
+        a.matvec(x.data() + c * a.cols(), y.data() + c * a.rows());
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  label_isa(state, kMode);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz() * k));
+}
+
+template <typename T, Mode kMode, bool kBlocked>
+void BM_DotBlock(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto x = random_vec<T>(k * n, 7);
+  const auto y = random_vec<T>(n, 8);
+  std::vector<T> out(k);
+  const ModeGuard guard(kMode);
+  for (auto _ : state) {
+    if constexpr (kBlocked) {
+      kernels::dot_block(n, k, x.data(), n, y.data(), out.data());
+    } else {
+      for (std::size_t c = 0; c < k; ++c) out[c] = kernels::dot(n, x.data() + c * n, y.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  label_isa(state, kMode);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * k));
+}
+
+#define MFLA_ACCEL_BENCH(T)                                                             \
+  BENCHMARK_TEMPLATE(BM_Dot, T, Mode::exact)->Name("Dot/exact/" #T)->Arg(4096);         \
+  BENCHMARK_TEMPLATE(BM_Dot, T, Mode::lut)->Name("Dot/lut/" #T)->Arg(4096);             \
+  BENCHMARK_TEMPLATE(BM_Axpy, T, Mode::exact)->Name("Axpy/exact/" #T)->Arg(4096);       \
+  BENCHMARK_TEMPLATE(BM_Axpy, T, Mode::lut)->Name("Axpy/lut/" #T)->Arg(4096);           \
+  BENCHMARK_TEMPLATE(BM_SpMV, T, Mode::exact)->Name("SpMV/exact/" #T)->Arg(512);        \
+  BENCHMARK_TEMPLATE(BM_SpMV, T, Mode::lut)->Name("SpMV/lut/" #T)->Arg(512)
+
+// The SIMD tier only exists for the 8-bit formats.
+#define MFLA_SIMD_BENCH(T)                                                              \
+  BENCHMARK_TEMPLATE(BM_Dot, T, Mode::simd)->Name("Dot/simd/" #T)->Arg(4096);           \
+  BENCHMARK_TEMPLATE(BM_Axpy, T, Mode::simd)->Name("Axpy/simd/" #T)->Arg(4096);         \
+  BENCHMARK_TEMPLATE(BM_SpMV, T, Mode::simd)->Name("SpMV/simd/" #T)->Arg(512);          \
+  BENCHMARK_TEMPLATE(BM_SpMM, T, Mode::simd, false)                                     \
+      ->Name("SpMM/singles/" #T)                                                        \
+      ->Args({512, 4})                                                                  \
+      ->Args({512, 8})                                                                  \
+      ->Args({512, 16});                                                                \
+  BENCHMARK_TEMPLATE(BM_SpMM, T, Mode::simd, true)                                      \
+      ->Name("SpMM/block/" #T)                                                          \
+      ->Args({512, 4})                                                                  \
+      ->Args({512, 8})                                                                  \
+      ->Args({512, 16});                                                                \
+  BENCHMARK_TEMPLATE(BM_SpMM, T, Mode::lut, true)->Name("SpMM/block_scalar/" #T)->Args( \
+      {512, 8});                                                                        \
+  BENCHMARK_TEMPLATE(BM_DotBlock, T, Mode::simd, false)                                 \
+      ->Name("DotBlock/singles/" #T)                                                    \
+      ->Args({4096, 8})                                                                 \
+      ->Args({4096, 16});                                                               \
+  BENCHMARK_TEMPLATE(BM_DotBlock, T, Mode::simd, true)                                  \
+      ->Name("DotBlock/block/" #T)                                                      \
+      ->Args({4096, 8})                                                                 \
+      ->Args({4096, 16})
+
+// The four 8-bit formats (acceptance: >= 3x lut-over-exact on
+// dot/axpy/spmv for all; the simd series rides on top).
 MFLA_ACCEL_BENCH(OFP8E4M3);
 MFLA_ACCEL_BENCH(OFP8E5M2);
 MFLA_ACCEL_BENCH(Posit8);
 MFLA_ACCEL_BENCH(Takum8);
-// The four 16-bit formats (decode-table paths).
+// The four 16-bit formats (decode-table paths; no SIMD tier).
 MFLA_ACCEL_BENCH(Float16);
 MFLA_ACCEL_BENCH(BFloat16);
 MFLA_ACCEL_BENCH(Posit16);
 MFLA_ACCEL_BENCH(Takum16);
+
+MFLA_SIMD_BENCH(Posit8);
+MFLA_SIMD_BENCH(Takum8);
 
 }  // namespace

@@ -1,0 +1,148 @@
+// Runtime-dispatched SIMD backend: capability detection and the runtime
+// switch for the vectorized 8-bit LUT kernels (kernels/simd_avx2.hpp).
+//
+// The SIMD paths are a third acceleration tier on top of the LUT layer
+// (kernels/accel.hpp): they walk the very same 256×256 operation tables in
+// the very same order as the scalar LUT kernels, so they are bit-identical
+// by construction — `vpgatherdd` fetches table entries for eight lanes at
+// once and `pshufb` resolves 256-entry single-row lookups in registers,
+// but every lane's accumulation chain is the scalar chain.
+//
+// Dispatch is layered, each level falling back to the next:
+//
+//   compile time   MFLA_ENABLE_SIMD (CMake option, mirrors MFLA_ENABLE_LUT)
+//                  && MFLA_ENABLE_LUT (the tables are the data the SIMD
+//                  kernels gather from) && an x86 GCC/Clang toolchain
+//                  -> MFLA_SIMD_COMPILED
+//   process start  the MFLA_SIMD environment variable ("0"/"off"/"false"
+//                  disables) seeds the runtime switch
+//   runtime        set_simd_enabled() toggles; __builtin_cpu_supports
+//                  gates on the host actually executing AVX2
+//
+// simd_active() folds all of it: kernels vectorize iff it returns true
+// (call sites additionally require lut_enabled(), since the tables are
+// owned by the LUT tier). Everything degrades to the scalar LUT kernels,
+// and below those to the exact engines — slower, never different.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#ifndef MFLA_ENABLE_LUT
+#define MFLA_ENABLE_LUT 1
+#endif
+#ifndef MFLA_ENABLE_SIMD
+#define MFLA_ENABLE_SIMD 1
+#endif
+
+#if MFLA_ENABLE_SIMD && MFLA_ENABLE_LUT && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MFLA_SIMD_COMPILED 1
+#else
+#define MFLA_SIMD_COMPILED 0
+#endif
+
+namespace mfla {
+namespace kernels {
+
+/// Does the MFLA_SIMD environment value ask for SIMD to start disabled?
+/// Exposed (rather than buried in the initializer) so tests can pin the
+/// parsing contract without spawning subprocesses.
+[[nodiscard]] inline bool simd_env_requests_off(const char* value) noexcept {
+  if (value == nullptr) return false;
+  return std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
+         std::strcmp(value, "OFF") == 0 || std::strcmp(value, "false") == 0;
+}
+
+namespace detail {
+[[nodiscard]] inline std::atomic<bool>& simd_flag() noexcept {
+  static std::atomic<bool> flag{!simd_env_requests_off(std::getenv("MFLA_SIMD"))};
+  return flag;
+}
+}  // namespace detail
+
+/// Were the SIMD kernels compiled into this build?
+[[nodiscard]] constexpr bool simd_compiled() noexcept { return MFLA_SIMD_COMPILED != 0; }
+
+/// Does the host CPU execute the compiled SIMD ISA (AVX2)? Always false
+/// when the kernels are compiled out.
+[[nodiscard]] inline bool simd_supported() noexcept {
+#if MFLA_SIMD_COMPILED
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// The runtime switch (independent of CPU support; defaults to on unless
+/// the MFLA_SIMD environment variable disabled it).
+[[nodiscard]] inline bool simd_enabled() noexcept {
+  return detail::simd_flag().load(std::memory_order_relaxed);
+}
+
+/// Toggle the SIMD fast paths at runtime; returns the previous setting.
+/// Turning them on only takes effect where simd_supported() holds.
+inline bool set_simd_enabled(bool on) noexcept {
+  return detail::simd_flag().exchange(on, std::memory_order_relaxed);
+}
+
+/// Will the dispatching kernels actually vectorize? (Compiled in, host
+/// executes AVX2, runtime switch on. Call sites combine this with
+/// lut_enabled() — the SIMD kernels gather from the LUT tier's tables.)
+[[nodiscard]] inline bool simd_active() noexcept {
+  return simd_compiled() && simd_enabled() && simd_supported();
+}
+
+/// Capability report, for diagnostics and the dispatch tests.
+struct SimdCaps {
+  bool compiled;    ///< built with MFLA_ENABLE_SIMD on an x86 toolchain
+  bool avx2;        ///< host CPU executes AVX2
+  bool enabled;     ///< runtime switch (MFLA_SIMD env / set_simd_enabled)
+  bool active;      ///< compiled && avx2 && enabled
+  const char* isa;  ///< "avx2" when active, "scalar" otherwise
+};
+
+[[nodiscard]] inline SimdCaps simd_caps() noexcept {
+  SimdCaps caps;
+  caps.compiled = simd_compiled();
+  caps.avx2 = simd_supported();
+  caps.enabled = simd_enabled();
+  caps.active = simd_active();
+  caps.isa = caps.active ? "avx2" : "scalar";
+  return caps;
+}
+
+namespace detail {
+
+/// Byte view of an 8-bit scalar array: for the lut8 formats the codec
+/// Storage byte *is* the object representation, so the SIMD kernels can
+/// address encodings directly.
+template <typename T>
+[[nodiscard]] inline const std::uint8_t* byte_ptr(const T* p) noexcept {
+  static_assert(sizeof(T) == 1 && std::is_trivially_copyable_v<T>);
+  return reinterpret_cast<const std::uint8_t*>(p);
+}
+template <typename T>
+[[nodiscard]] inline std::uint8_t* byte_ptr(T* p) noexcept {
+  static_assert(sizeof(T) == 1 && std::is_trivially_copyable_v<T>);
+  return reinterpret_cast<std::uint8_t*>(p);
+}
+
+/// Grow-only thread-local byte scratch for the SIMD kernels' operand
+/// staging (slot 0: SpMV's padded x copy, slot 1: SpMM's interleaved x
+/// block). Thread-local keeps the experiment engine's pool threads
+/// independent; grow-only keeps the steady-state hot loops
+/// allocation-free once warmed up.
+[[nodiscard]] inline std::vector<std::uint8_t>& simd_scratch(int slot) {
+  static thread_local std::vector<std::uint8_t> bufs[2];
+  return bufs[slot];
+}
+
+}  // namespace detail
+
+}  // namespace kernels
+}  // namespace mfla

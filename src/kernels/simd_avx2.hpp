@@ -1,0 +1,397 @@
+// AVX2 kernels over the 8-bit LUT tables (kernels/accel.hpp), operating on
+// raw encoding bytes.
+//
+// Every function here evaluates exactly the scalar LUT recurrences — the
+// tables are the arithmetic, SIMD only changes how entries are fetched:
+//
+//   * `vpgatherdd` (_mm256_i32gather_epi32) fetches eight table entries at
+//     once from the 256×256 add/mul tables. Entries are bytes, gathers are
+//     32-bit: each lane reads the word starting at its entry and masks to
+//     the low byte, which is why every gathered array carries
+//     Lut8::kGatherPad trailing bytes.
+//   * `pshufb` (_mm256_shuffle_epi8) resolves a whole 256-entry single-row
+//     lookup (e.g. mul-by-fixed-alpha) in registers: sixteen 16-byte table
+//     chunks, select by high nibble, shuffle by low nibble.
+//   * accumulation chains (dot, spmv rows, spmm columns) are inherently
+//     sequential — LUT addition does not associate — so they either run
+//     scalar over vector-precomputed products (dot) or pack eight
+//     *independent* chains into the lanes of one gather (spmm columns,
+//     blocked dot), which is where the multi-vector primitives win. A
+//     chained gather costs ~4x a chained scalar load on current cores, so
+//     the kernels below keep at least two gather chains in flight (spmm
+//     runs row pairs, the 16-wide blocked dot runs two lane groups); the
+//     single-vector spmv restructure lives in kernels/spmv.hpp as
+//     interleaved scalar chains over a SELL-8 plan for the same reason.
+//
+// Chains index the *transposed* add table (Lut8::add_t_data, layout
+// (product << 8) | acc): the late-arriving accumulator sits in the low
+// bits, so the dependent operation is a single indexed load.
+//
+// Compiled only when MFLA_SIMD_COMPILED; functions carry the AVX2 target
+// attribute so no global -mavx2 is needed, and callers must gate on
+// kernels::simd_supported() (see kernels/simd.hpp).
+#pragma once
+
+#include "kernels/simd.hpp"
+
+#if MFLA_SIMD_COMPILED
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#define MFLA_TARGET_AVX2 __attribute__((target("avx2")))
+
+namespace mfla {
+namespace kernels {
+namespace simd {
+
+/// Bytes of headroom every gathered table/array must carry past its last
+/// addressable entry (32-bit gathers of byte entries read 3 bytes beyond).
+inline constexpr std::size_t kGatherSlack = 3;
+
+// -- Building blocks --------------------------------------------------------
+
+/// Eight byte-table entries at the byte indices in `idx` (32-bit lanes).
+/// `table` must have kGatherSlack bytes of headroom past the last entry.
+MFLA_TARGET_AVX2 inline __m256i gather_bytes(const std::uint8_t* table, __m256i idx) noexcept {
+  const __m256i words =
+      _mm256_i32gather_epi32(reinterpret_cast<const int*>(table), idx, 1);
+  return _mm256_and_si256(words, _mm256_set1_epi32(0xff));
+}
+
+/// Zero-extend 8 bytes at p into eight 32-bit lanes.
+MFLA_TARGET_AVX2 inline __m256i load8_epu32(const std::uint8_t* p) noexcept {
+  return _mm256_cvtepu8_epi32(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+}
+
+/// Store the low byte of each 32-bit lane: 8 contiguous bytes at `out`.
+MFLA_TARGET_AVX2 inline void store_low_bytes8(std::uint8_t* out, __m256i v) noexcept {
+  const __m256i shuf = _mm256_setr_epi8(
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+  const __m256i packed = _mm256_shuffle_epi8(v, shuf);
+  const auto lo = static_cast<std::uint32_t>(_mm256_extract_epi32(packed, 0));
+  const auto hi = static_cast<std::uint32_t>(_mm256_extract_epi32(packed, 4));
+  std::memcpy(out, &lo, 4);
+  std::memcpy(out + 4, &hi, 4);
+}
+
+/// out[i] = table2d[(a[i] << 8) | b[i]] — the generic two-operand table
+/// fetch behind the vectorized mul and (for independent elements) add
+/// stages. In-place use (out aliasing a or b) is safe: each 8-element
+/// chunk is fully read before its result is stored.
+MFLA_TARGET_AVX2 inline void gather_pairs(const std::uint8_t* table2d, const std::uint8_t* a,
+                                          const std::uint8_t* b, std::uint8_t* out,
+                                          std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va = load8_epu32(a + i);
+    const __m256i vb = load8_epu32(b + i);
+    const __m256i idx = _mm256_or_si256(_mm256_slli_epi32(va, 8), vb);
+    store_low_bytes8(out + i, gather_bytes(table2d, idx));
+  }
+  for (; i < n; ++i)
+    out[i] = table2d[(static_cast<std::size_t>(a[i]) << 8) | b[i]];
+}
+
+/// A 256-entry byte table staged into registers as sixteen 16-byte chunks
+/// for in-register pshufb lookups.
+struct Lookup256 {
+  __m256i chunk[16];
+};
+
+MFLA_TARGET_AVX2 inline Lookup256 load_lookup256(const std::uint8_t* row256) noexcept {
+  Lookup256 t;
+  for (int r = 0; r < 16; ++r) {
+    t.chunk[r] = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row256 + 16 * r)));
+  }
+  return t;
+}
+
+/// 32 parallel 256-entry lookups: out[i] = table[x[i]]. Select the chunk
+/// by high nibble (compare + blend), the entry within it by low nibble
+/// (pshufb).
+MFLA_TARGET_AVX2 inline __m256i lookup256_apply(const Lookup256& t, __m256i x) noexcept {
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(x, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(x, 4), nib);
+  __m256i out = _mm256_setzero_si256();
+  for (int r = 0; r < 16; ++r) {
+    const __m256i mask = _mm256_cmpeq_epi8(hi, _mm256_set1_epi8(static_cast<char>(r)));
+    out = _mm256_blendv_epi8(out, _mm256_shuffle_epi8(t.chunk[r], lo), mask);
+  }
+  return out;
+}
+
+/// Transpose an 8x8 byte tile: reads x[c * ldx + e] for columns c and
+/// elements e in 0..8, writes element-major rows out[e * 8 + c]. This is
+/// the staging step of the blocked dot kernels — it turns eight strided
+/// column reads per element into one 8-byte load.
+MFLA_TARGET_AVX2 inline void transpose8x8_bytes(const std::uint8_t* x, std::size_t ldx,
+                                                std::uint8_t* out) noexcept {
+  const auto row = [&](std::size_t c) {
+    return _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x + c * ldx));
+  };
+  const __m128i b0 = _mm_unpacklo_epi8(row(0), row(1));
+  const __m128i b1 = _mm_unpacklo_epi8(row(2), row(3));
+  const __m128i b2 = _mm_unpacklo_epi8(row(4), row(5));
+  const __m128i b3 = _mm_unpacklo_epi8(row(6), row(7));
+  const __m128i c0 = _mm_unpacklo_epi16(b0, b1);
+  const __m128i c1 = _mm_unpackhi_epi16(b0, b1);
+  const __m128i c2 = _mm_unpacklo_epi16(b2, b3);
+  const __m128i c3 = _mm_unpackhi_epi16(b2, b3);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), _mm_unpacklo_epi32(c0, c2));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16), _mm_unpackhi_epi32(c0, c2));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 32), _mm_unpacklo_epi32(c1, c3));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 48), _mm_unpackhi_epi32(c1, c3));
+}
+
+/// out[i] = row256[x[i]] for a whole array (in-place allowed).
+MFLA_TARGET_AVX2 inline void lookup256_map(const std::uint8_t* row256, const std::uint8_t* x,
+                                           std::uint8_t* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  if (n >= 32) {
+    const Lookup256 t = load_lookup256(row256);
+    for (; i + 32 <= n; i += 32) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), lookup256_apply(t, v));
+    }
+  }
+  for (; i < n; ++i) out[i] = row256[x[i]];
+}
+
+// -- Kernels ----------------------------------------------------------------
+
+/// Product-buffer block size for the chained kernels (stack-resident, so
+/// the hot loops stay allocation-free). Small enough that the next
+/// block's independent gathers fit the out-of-order window while the
+/// current block's accumulation chain drains — at 128 the chain alone
+/// overflows the reorder buffer and the gathers stop overlapping.
+inline constexpr std::size_t kChainBlock = 32;
+
+/// Dot-product recurrence: acc := addt[(mul2d[(x[i]<<8)|y[i]] << 8) | acc]
+/// in index order, starting from acc0 (the bits of T(0)). The products are
+/// gathered eight at a time; the accumulation chain is the scalar chain.
+MFLA_TARGET_AVX2 inline std::uint8_t dot_bits(const std::uint8_t* mul2d,
+                                              const std::uint8_t* addt, const std::uint8_t* x,
+                                              const std::uint8_t* y, std::size_t n,
+                                              std::uint8_t acc0) noexcept {
+  std::uint8_t prod[kChainBlock];
+  std::size_t acc = acc0;
+  for (std::size_t base = 0; base < n; base += kChainBlock) {
+    const std::size_t m = n - base < kChainBlock ? n - base : kChainBlock;
+    gather_pairs(mul2d, x + base, y + base, prod, m);
+    for (std::size_t i = 0; i < m; ++i)
+      acc = addt[(static_cast<std::size_t>(prod[i]) << 8) + acc];
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+/// y[i] := add2d[(y[i] << 8) | mulrow[x[i]]] — axpy with the alpha row of
+/// the mul table. Products via in-register pshufb, sums via gather (each
+/// element's chain has depth one, so the add stage is fully parallel).
+MFLA_TARGET_AVX2 inline void axpy_bits(const std::uint8_t* add2d, const std::uint8_t* mulrow,
+                                       const std::uint8_t* x, std::uint8_t* y,
+                                       std::size_t n) noexcept {
+  std::uint8_t prod[32];
+  std::size_t i = 0;
+  if (n >= 32) {
+    const Lookup256 t = load_lookup256(mulrow);
+    for (; i + 32 <= n; i += 32) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(prod), lookup256_apply(t, v));
+      gather_pairs(add2d, y + i, prod, y + i, 32);
+    }
+  }
+  for (; i < n; ++i)
+    y[i] = add2d[(static_cast<std::size_t>(y[i]) << 8) | mulrow[x[i]]];
+}
+
+/// x[i] := mulrow[x[i]] — scal as a pure in-register 256-entry map.
+MFLA_TARGET_AVX2 inline void scal_bits(const std::uint8_t* mulrow, std::uint8_t* x,
+                                       std::size_t n) noexcept {
+  lookup256_map(mulrow, x, x, n);
+}
+
+/// Fused blocked axpy: applies kc sequential axpys y += alpha_c * x_c in
+/// one traversal of y. Each element's chain
+///   y[i] := add2d[(y[i] << 8) | mul2d[(alpha_c << 8) | x_c[i]]],  c = 0..kc
+/// is independent of every other element's, so interchanging the (c, i)
+/// loops of the scalar definition is exactly identity-preserving; eight
+/// element chains run in the gather lanes.
+MFLA_TARGET_AVX2 inline void axpy_block_bits(const std::uint8_t* mul2d,
+                                             const std::uint8_t* add2d,
+                                             const std::uint8_t* alphas, std::size_t kc,
+                                             const std::uint8_t* x, std::size_t ldx,
+                                             std::uint8_t* y, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i yv = load8_epu32(y + i);
+    for (std::size_t c = 0; c < kc; ++c) {
+      const __m256i xb = load8_epu32(x + c * ldx + i);
+      const __m256i pr = gather_bytes(
+          mul2d, _mm256_or_si256(_mm256_set1_epi32(static_cast<int>(alphas[c]) << 8), xb));
+      yv = gather_bytes(add2d, _mm256_or_si256(_mm256_slli_epi32(yv, 8), pr));
+    }
+    store_low_bytes8(y + i, yv);
+  }
+  for (; i < n; ++i) {
+    std::size_t acc = y[i];
+    for (std::size_t c = 0; c < kc; ++c) {
+      const std::uint8_t pr =
+          mul2d[(static_cast<std::size_t>(alphas[c]) << 8) | x[c * ldx + i]];
+      acc = add2d[(acc << 8) | pr];
+    }
+    y[i] = static_cast<std::uint8_t>(acc);
+  }
+}
+
+/// One nonzero's advance of an 8-lane SpMM chain: gather the products
+/// mul2d[offsets[k] | xblk[col*8 + c]] for the eight lanes, then the
+/// dependent add through the transposed table.
+MFLA_TARGET_AVX2 inline __m256i spmm_advance(const std::uint8_t* mul2d, const std::uint8_t* addt,
+                                             const std::uint32_t* col_idx,
+                                             const std::uint16_t* offsets,
+                                             const std::uint8_t* xblk, std::uint32_t k,
+                                             __m256i acc) noexcept {
+  const __m256i xb = load8_epu32(xblk + static_cast<std::size_t>(col_idx[k]) * 8);
+  const __m256i idx = _mm256_or_si256(_mm256_set1_epi32(offsets[k]), xb);
+  const __m256i pr = gather_bytes(mul2d, idx);
+  return gather_bytes(addt, _mm256_or_si256(_mm256_slli_epi32(pr, 8), acc));
+}
+
+/// Planned SpMM over a chunk of kc <= 8 right-hand sides: the eight lanes
+/// carry eight *independent* column chains, so one gather per nonzero
+/// advances all of them — this is where one matrix traversal amortizes
+/// over many vectors. Rows are processed in pairs, keeping two gather
+/// chains in flight (a chained gather costs ~4x a chained scalar load;
+/// one chain per row leaves the gather unit mostly idle). `xblk`
+/// interleaves the chunk's x encodings as xblk[col * 8 + c] (dead lanes
+/// may hold anything valid); results go to y[c * ldy + r] for c < kc.
+MFLA_TARGET_AVX2 inline void spmm8_bits(const std::uint8_t* mul2d, const std::uint8_t* addt,
+                                        std::size_t rows, const std::uint32_t* row_ptr,
+                                        const std::uint32_t* col_idx,
+                                        const std::uint16_t* offsets, const std::uint8_t* xblk,
+                                        std::uint8_t* y, std::size_t ldy, std::size_t kc,
+                                        std::uint8_t zero_bits) noexcept {
+  std::uint8_t lane[16];
+  const __m256i zero = _mm256_set1_epi32(zero_bits);
+  std::size_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const std::uint32_t b0 = row_ptr[r], l0 = row_ptr[r + 1] - b0;
+    const std::uint32_t b1 = row_ptr[r + 1], l1 = row_ptr[r + 2] - b1;
+    const std::uint32_t minl = l0 < l1 ? l0 : l1;
+    const std::uint32_t maxl = l0 < l1 ? l1 : l0;
+    __m256i acc0 = zero, acc1 = zero;
+    std::uint32_t t = 0;
+    for (; t < minl; ++t) {
+      acc0 = spmm_advance(mul2d, addt, col_idx, offsets, xblk, b0 + t, acc0);
+      acc1 = spmm_advance(mul2d, addt, col_idx, offsets, xblk, b1 + t, acc1);
+    }
+    for (; t < maxl; ++t) {
+      if (t < l0) acc0 = spmm_advance(mul2d, addt, col_idx, offsets, xblk, b0 + t, acc0);
+      if (t < l1) acc1 = spmm_advance(mul2d, addt, col_idx, offsets, xblk, b1 + t, acc1);
+    }
+    store_low_bytes8(lane, acc0);
+    store_low_bytes8(lane + 8, acc1);
+    for (std::size_t c = 0; c < kc; ++c) y[c * ldy + r] = lane[c];
+    for (std::size_t c = 0; c < kc; ++c) y[c * ldy + r + 1] = lane[8 + c];
+  }
+  if (r < rows) {
+    __m256i acc = zero;
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+      acc = spmm_advance(mul2d, addt, col_idx, offsets, xblk, k, acc);
+    store_low_bytes8(lane, acc);
+    for (std::size_t c = 0; c < kc; ++c) y[c * ldy + r] = lane[c];
+  }
+}
+
+/// Blocked dot over a chunk of kc <= 8 left-hand sides x_c (column-major,
+/// leading dimension ldx) against one y: eight independent dot chains in
+/// the lanes of one gather. Full chunks stage operands with the 8x8 byte
+/// transpose; partial chunks stage scalar, with dead lanes re-running
+/// column 0. Writes out[0..8).
+MFLA_TARGET_AVX2 inline void dot_block8_bits(const std::uint8_t* mul2d,
+                                             const std::uint8_t* addt, const std::uint8_t* x,
+                                             std::size_t ldx, std::size_t kc,
+                                             const std::uint8_t* y, std::size_t n,
+                                             std::uint8_t zero_bits,
+                                             std::uint8_t* out) noexcept {
+  std::uint8_t xblk[kChainBlock * 8];
+  __m256i acc = _mm256_set1_epi32(zero_bits);
+  for (std::size_t base = 0; base < n; base += kChainBlock) {
+    const std::size_t m = n - base < kChainBlock ? n - base : kChainBlock;
+    std::size_t i = 0;
+    if (kc == 8) {
+      for (; i + 8 <= m; i += 8) transpose8x8_bytes(x + base + i, ldx, xblk + i * 8);
+    }
+    for (; i < m; ++i) {
+      for (std::size_t c = 0; c < 8; ++c) {
+        const std::size_t col = c < kc ? c : 0;
+        xblk[i * 8 + c] = x[col * ldx + base + i];
+      }
+    }
+    for (i = 0; i < m; ++i) {
+      const __m256i xb = load8_epu32(xblk + i * 8);
+      const __m256i yb = _mm256_set1_epi32(y[base + i]);
+      const __m256i pr = gather_bytes(mul2d, _mm256_or_si256(_mm256_slli_epi32(xb, 8), yb));
+      acc = gather_bytes(addt, _mm256_or_si256(_mm256_slli_epi32(pr, 8), acc));
+    }
+  }
+  store_low_bytes8(out, acc);
+}
+
+/// Blocked dot over exactly sixteen left-hand sides: two lane groups of
+/// eight, i.e. two independent gather chains in flight per element — the
+/// ~4x latency gap between a chained gather and a chained scalar load
+/// means one chain alone cannot saturate the gather unit. Writes
+/// out[0..16).
+MFLA_TARGET_AVX2 inline void dot_block16_bits(const std::uint8_t* mul2d,
+                                              const std::uint8_t* addt, const std::uint8_t* x,
+                                              std::size_t ldx, const std::uint8_t* y,
+                                              std::size_t n, std::uint8_t zero_bits,
+                                              std::uint8_t* out) noexcept {
+  std::uint8_t xb0[kChainBlock * 8];
+  std::uint8_t xb1[kChainBlock * 8];
+  __m256i acc0 = _mm256_set1_epi32(zero_bits);
+  __m256i acc1 = acc0;
+  for (std::size_t base = 0; base < n; base += kChainBlock) {
+    const std::size_t m = n - base < kChainBlock ? n - base : kChainBlock;
+    std::size_t i = 0;
+    for (; i + 8 <= m; i += 8) {
+      transpose8x8_bytes(x + base + i, ldx, xb0 + i * 8);
+      transpose8x8_bytes(x + 8 * ldx + base + i, ldx, xb1 + i * 8);
+    }
+    for (; i < m; ++i) {
+      for (std::size_t c = 0; c < 8; ++c) {
+        xb0[i * 8 + c] = x[c * ldx + base + i];
+        xb1[i * 8 + c] = x[(8 + c) * ldx + base + i];
+      }
+    }
+    for (i = 0; i < m; ++i) {
+      const __m256i yb = _mm256_set1_epi32(y[base + i]);
+      const __m256i pr0 =
+          gather_bytes(mul2d, _mm256_or_si256(_mm256_slli_epi32(load8_epu32(xb0 + i * 8), 8), yb));
+      const __m256i pr1 =
+          gather_bytes(mul2d, _mm256_or_si256(_mm256_slli_epi32(load8_epu32(xb1 + i * 8), 8), yb));
+      acc0 = gather_bytes(addt, _mm256_or_si256(_mm256_slli_epi32(pr0, 8), acc0));
+      acc1 = gather_bytes(addt, _mm256_or_si256(_mm256_slli_epi32(pr1, 8), acc1));
+    }
+  }
+  store_low_bytes8(out, acc0);
+  store_low_bytes8(out + 8, acc1);
+}
+
+}  // namespace simd
+}  // namespace kernels
+}  // namespace mfla
+
+#undef MFLA_TARGET_AVX2
+
+#endif  // MFLA_SIMD_COMPILED

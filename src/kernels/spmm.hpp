@@ -1,0 +1,148 @@
+// Sparse matrix × block of vectors (SpMM) over CSR storage.
+//
+// Y[:, c] := A X[:, c] for k right-hand sides stored column-major — defined
+// as exactly k applications of the single-vector SpMV, so every backend is
+// bit-identical to k matvecs by contract. The point of the primitive is
+// traversal amortization: one walk over the CSR structure advances all k
+// accumulation chains, instead of k walks re-reading row_ptr/col_idx/
+// values (or the offset plan) from memory each time.
+//
+//   * generic path — processes the rhs block in chunks of up to 8 columns;
+//     within a chunk each nonzero updates all chunk accumulators (a small
+//     stack array), i.e. a plain loop interchange of the k-spmv
+//     definition. Element chains are per-column independent, so the
+//     interchange is exactly identity-preserving.
+//   * planned path (8-bit formats, kernels/spmv.hpp offset plan) — same
+//     chunking in the bit domain over the LUT tables. With up to eight
+//     independent chains advancing per nonzero this is already 2x+ faster
+//     than separate spmv calls: each chain alone is bounded by its
+//     dependent table-load latency, interleaved chains fill the gap.
+//   * SIMD path (kernels/simd_avx2.hpp spmm8_bits), full chunks only —
+//     the eight chunk chains live in the lanes of one `vpgatherdd`, one
+//     gather per nonzero advancing all of them; x bytes are staged
+//     interleaved (xblk[col * 8 + c]) so each nonzero's operands load as
+//     one 8-byte read. Partial chunks take the scalar interleave above:
+//     the gathers cost the same with dead lanes, the scalar chunk scales
+//     down with kc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/accel.hpp"
+#include "kernels/simd.hpp"
+#include "kernels/simd_avx2.hpp"
+#include "kernels/spmv.hpp"
+
+namespace mfla {
+namespace kernels {
+
+namespace detail {
+
+/// Chunk width of the blocked SpMM paths (matches the SIMD lane count).
+inline constexpr std::size_t kSpmmChunk = 8;
+
+template <typename T, class Ops>
+void spmm_impl(std::size_t rows, const std::uint32_t* row_ptr, const std::uint32_t* col_idx,
+               const T* values, std::size_t k, const T* x, std::size_t ldx, T* y,
+               std::size_t ldy, const Ops& ops) noexcept {
+  for (std::size_t c0 = 0; c0 < k; c0 += kSpmmChunk) {
+    const std::size_t kc = k - c0 < kSpmmChunk ? k - c0 : kSpmmChunk;
+    for (std::size_t i = 0; i < rows; ++i) {
+      T acc[kSpmmChunk];
+      for (std::size_t c = 0; c < kc; ++c) acc[c] = T(0);
+      for (std::uint32_t nz = row_ptr[i]; nz < row_ptr[i + 1]; ++nz) {
+        const T a = values[nz];
+        const std::size_t col = col_idx[nz];
+        for (std::size_t c = 0; c < kc; ++c)
+          acc[c] = ops.add(acc[c], ops.mul(a, x[(c0 + c) * ldx + col]));
+      }
+      for (std::size_t c = 0; c < kc; ++c) y[(c0 + c) * ldy + i] = acc[c];
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace ref {
+
+/// Y := A X, exact engines, bit-identical to k ref::spmv calls.
+template <typename T>
+void spmm(std::size_t rows, const std::uint32_t* row_ptr, const std::uint32_t* col_idx,
+          const T* values, std::size_t k, const T* x, std::size_t ldx, T* y,
+          std::size_t ldy) noexcept {
+  detail::spmm_impl(rows, row_ptr, col_idx, values, k, x, ldx, y, ldy, accel::NativeOps<T>{});
+}
+
+}  // namespace ref
+
+#if MFLA_ENABLE_LUT
+
+/// Y := A X with the precomputed offset plan (kernels/spmv.hpp); callers
+/// must check lut_enabled(). Bit-identical to k spmv_planned calls.
+/// `cols` is the x column length (rows of X).
+template <typename T>
+void spmm_planned(std::size_t rows, std::size_t cols, const std::uint32_t* row_ptr,
+                  const std::uint32_t* col_idx, const std::uint16_t* offsets, std::size_t k,
+                  const T* x, std::size_t ldx, T* y, std::size_t ldy) noexcept {
+  static_assert(spmv_plan_supported<T>());
+  using Codec = ScalarCodec<T>;
+  using Storage = typename Codec::Storage;
+  const auto& lut = accel::Lut8<T>::instance();
+  const Storage zero_bits = Codec::to_bits(T(0));
+  (void)cols;
+  std::size_t c0 = 0;
+#if MFLA_SIMD_COMPILED
+  // The gather kernel only pays off with all eight lanes live — a partial
+  // chunk costs the same gathers as a full one, so fewer than eight
+  // columns run faster through the interleaved scalar chunk loop below.
+  if (simd_active() && k >= detail::kSpmmChunk) {
+    auto& xblk = detail::simd_scratch(1);
+    if (xblk.size() < cols * 8) xblk.resize(cols * 8);
+    for (; c0 + detail::kSpmmChunk <= k; c0 += detail::kSpmmChunk) {
+      // Interleave the chunk's x encodings so each nonzero's eight lane
+      // operands load as one 8-byte read.
+      for (std::size_t col = 0; col < cols; ++col) {
+        for (std::size_t c = 0; c < 8; ++c)
+          xblk[col * 8 + c] = detail::byte_ptr(x)[(c0 + c) * ldx + col];
+      }
+      simd::spmm8_bits(lut.mul_data(), lut.add_t_data(), rows, row_ptr, col_idx, offsets,
+                       xblk.data(), detail::byte_ptr(y) + c0 * ldy, ldy, detail::kSpmmChunk,
+                       zero_bits);
+    }
+  }
+#endif
+  for (; c0 < k; c0 += detail::kSpmmChunk) {
+    const std::size_t kc = k - c0 < detail::kSpmmChunk ? k - c0 : detail::kSpmmChunk;
+    for (std::size_t i = 0; i < rows; ++i) {
+      Storage acc[detail::kSpmmChunk];
+      for (std::size_t c = 0; c < kc; ++c) acc[c] = zero_bits;
+      for (std::uint32_t nz = row_ptr[i]; nz < row_ptr[i + 1]; ++nz) {
+        const std::size_t off = offsets[nz];
+        const std::size_t col = col_idx[nz];
+        for (std::size_t c = 0; c < kc; ++c) {
+          const Storage prod = lut.mul_at(
+              off | static_cast<std::size_t>(Codec::to_bits(x[(c0 + c) * ldx + col])));
+          acc[c] = lut.add_bits(acc[c], prod);
+        }
+      }
+      for (std::size_t c = 0; c < kc; ++c) y[(c0 + c) * ldy + i] = Codec::from_bits(acc[c]);
+    }
+  }
+}
+
+#endif  // MFLA_ENABLE_LUT
+
+/// Y := A X for CSR, accumulated in T — bit-identical to k spmv calls.
+/// X and Y are column-major with leading dimensions ldx (>= A cols) and
+/// ldy (>= rows).
+template <typename T>
+void spmm(std::size_t rows, const std::uint32_t* row_ptr, const std::uint32_t* col_idx,
+          const T* values, std::size_t k, const T* x, std::size_t ldx, T* y, std::size_t ldy) {
+  accel::with_ops<T>([&](const auto& ops) {
+    detail::spmm_impl(rows, row_ptr, col_idx, values, k, x, ldx, y, ldy, ops);
+  });
+}
+
+}  // namespace kernels
+}  // namespace mfla

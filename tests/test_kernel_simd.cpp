@@ -1,0 +1,667 @@
+// Byte-identity and dispatch tests for the SIMD tier (kernels/simd.hpp,
+// kernels/simd_avx2.hpp, the SELL-8 plan in kernels/spmv.hpp):
+//   * capability reporting and the layered runtime switch (environment
+//     parsing, set_simd_enabled round trips, forced-scalar fallback),
+//   * exhaustive building blocks — gather_pairs over all 256x256 operand
+//     pairs of the add and mul tables, the transposed add table, the
+//     in-register 256-entry lookup, the 8x8 byte transpose,
+//   * every vectorized kernel against its scalar LUT recurrence over
+//     awkward lengths (0, 1, lane-width +/- 1, large odd tails) and
+//     unaligned slices, on raw random encodings (all 256 bit patterns,
+//     including the formats' NaN/inf/NaR codes),
+//   * SELL-8 plan construction properties (validity guards, padding
+//     replication, empty rows) and the sliced SpMV kernel,
+//   * the multi-vector primitives against k single-vector calls, and
+//     arnoldi_step_batch against per-lane arnoldi_step,
+//   * an end-to-end experiment run whose result CSV must be byte-identical
+//     with SIMD on and off.
+// On hosts without AVX2 (or MFLA_ENABLE_SIMD=0 builds) the on/off
+// comparisons degenerate to scalar-vs-scalar and the intrinsic-level tests
+// skip, so the suite is meaningful in every CI configuration.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/arnoldi.hpp"
+#include "core/experiment.hpp"
+#include "core/results_io.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "kernels/accel.hpp"
+#include "kernels/simd.hpp"
+#include "kernels/simd_avx2.hpp"
+#include "kernels/spmm.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/vector_ops.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace mfla {
+namespace {
+
+/// RAII override of the runtime SIMD switch (mirrors LutGuard in
+/// test_kernel_accel.cpp).
+class SimdGuard {
+ public:
+  explicit SimdGuard(bool on) : previous_(kernels::set_simd_enabled(on)) {}
+  ~SimdGuard() { kernels::set_simd_enabled(previous_); }
+  SimdGuard(const SimdGuard&) = delete;
+  SimdGuard& operator=(const SimdGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Vector lengths that stress every code path: empty, scalar tails around
+/// the 8-lane and 32-byte widths, the kChainBlock boundary, and large odd
+/// sizes that exercise many blocks plus a tail.
+const std::size_t kLengths[] = {0,  1,  2,  3,  7,   8,   9,   15,  16,   17,   31,  32,
+                                33, 63, 64, 65, 127, 128, 129, 255, 1000, 4097};
+
+/// Raw random encodings — every byte value occurs, so the formats' NaN /
+/// inf / NaR / -0 codes all flow through the kernels.
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+  return v;
+}
+
+template <typename T>
+std::vector<T> from_bytes(const std::vector<std::uint8_t>& bytes) {
+  using Codec = ScalarCodec<T>;
+  std::vector<T> v;
+  v.reserve(bytes.size());
+  for (const std::uint8_t b : bytes)
+    v.push_back(Codec::from_bits(static_cast<typename Codec::Storage>(b)));
+  return v;
+}
+
+template <typename T>
+void expect_same_bits(const std::vector<T>& a, const std::vector<T>& b, const char* what) {
+  using Codec = ScalarCodec<T>;
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(Codec::to_bits(a[i]), Codec::to_bits(b[i]))
+        << NumTraits<T>::name() << " " << what << " at " << i;
+}
+
+// -- Capability reporting and the runtime switch ----------------------------
+
+TEST(KernelSimd, CapsConsistent) {
+  const kernels::SimdCaps caps = kernels::simd_caps();
+  EXPECT_EQ(caps.compiled, kernels::simd_compiled());
+  EXPECT_EQ(caps.avx2, kernels::simd_supported());
+  EXPECT_EQ(caps.enabled, kernels::simd_enabled());
+  EXPECT_EQ(caps.active, caps.compiled && caps.avx2 && caps.enabled);
+  EXPECT_EQ(caps.active, kernels::simd_active());
+  EXPECT_STREQ(caps.isa, caps.active ? "avx2" : "scalar");
+#if !MFLA_SIMD_COMPILED
+  EXPECT_FALSE(caps.compiled);
+  EXPECT_FALSE(caps.avx2);  // simd_supported() is hard false when compiled out
+  EXPECT_FALSE(caps.active);
+#endif
+}
+
+TEST(KernelSimd, EnvParsing) {
+  EXPECT_FALSE(kernels::simd_env_requests_off(nullptr));
+  EXPECT_TRUE(kernels::simd_env_requests_off("0"));
+  EXPECT_TRUE(kernels::simd_env_requests_off("off"));
+  EXPECT_TRUE(kernels::simd_env_requests_off("OFF"));
+  EXPECT_TRUE(kernels::simd_env_requests_off("false"));
+  EXPECT_FALSE(kernels::simd_env_requests_off(""));
+  EXPECT_FALSE(kernels::simd_env_requests_off("1"));
+  EXPECT_FALSE(kernels::simd_env_requests_off("on"));
+  EXPECT_FALSE(kernels::simd_env_requests_off("Off"));  // deliberate: exact tokens only
+}
+
+TEST(KernelSimd, SetEnabledReturnsPrevious) {
+  const bool initial = kernels::simd_enabled();
+  EXPECT_EQ(kernels::set_simd_enabled(false), initial);
+  EXPECT_FALSE(kernels::simd_enabled());
+  EXPECT_FALSE(kernels::simd_active());  // forced scalar regardless of host
+  EXPECT_EQ(kernels::set_simd_enabled(true), false);
+  EXPECT_TRUE(kernels::simd_enabled());
+  kernels::set_simd_enabled(initial);
+}
+
+#if MFLA_ENABLE_LUT
+
+// -- Exhaustive building blocks ---------------------------------------------
+
+/// The transposed add table is a pure data-layout property (no intrinsics),
+/// so it is checked in every build: add_t[(b << 8) | a] == add[(a << 8) | b].
+template <typename T>
+void check_add_transpose() {
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  const std::uint8_t* add = lut.add_data();
+  const std::uint8_t* addt = lut.add_t_data();
+  for (std::size_t a = 0; a < 256; ++a)
+    for (std::size_t b = 0; b < 256; ++b)
+      ASSERT_EQ(addt[(b << 8) | a], add[(a << 8) | b])
+          << NumTraits<T>::name() << " at (" << a << ", " << b << ")";
+}
+
+TEST(KernelSimd, AddTransposeOFP8E4M3) { check_add_transpose<OFP8E4M3>(); }
+TEST(KernelSimd, AddTransposeOFP8E5M2) { check_add_transpose<OFP8E5M2>(); }
+TEST(KernelSimd, AddTransposePosit8) { check_add_transpose<Posit8>(); }
+TEST(KernelSimd, AddTransposeTakum8) { check_add_transpose<Takum8>(); }
+
+#if MFLA_SIMD_COMPILED
+
+#define MFLA_SKIP_WITHOUT_AVX2() \
+  if (!kernels::simd_supported()) GTEST_SKIP() << "host does not execute AVX2"
+
+/// gather_pairs over all 65536 operand pairs of both operation tables.
+template <typename T>
+void check_gather_pairs_exhaustive() {
+  MFLA_SKIP_WITHOUT_AVX2();
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  std::vector<std::uint8_t> a(65536), b(65536), out(65536);
+  for (std::size_t i = 0; i < 65536; ++i) {
+    a[i] = static_cast<std::uint8_t>(i >> 8);
+    b[i] = static_cast<std::uint8_t>(i & 0xff);
+  }
+  for (const std::uint8_t* table : {lut.add_data(), lut.mul_data()}) {
+    kernels::simd::gather_pairs(table, a.data(), b.data(), out.data(), out.size());
+    for (std::size_t i = 0; i < 65536; ++i)
+      ASSERT_EQ(out[i], table[i]) << NumTraits<T>::name() << " pair " << i;
+  }
+}
+
+TEST(KernelSimd, GatherPairsExhaustiveOFP8E4M3) { check_gather_pairs_exhaustive<OFP8E4M3>(); }
+TEST(KernelSimd, GatherPairsExhaustiveOFP8E5M2) { check_gather_pairs_exhaustive<OFP8E5M2>(); }
+TEST(KernelSimd, GatherPairsExhaustivePosit8) { check_gather_pairs_exhaustive<Posit8>(); }
+TEST(KernelSimd, GatherPairsExhaustiveTakum8) { check_gather_pairs_exhaustive<Takum8>(); }
+
+TEST(KernelSimd, GatherPairsTailsAndAliasing) {
+  MFLA_SKIP_WITHOUT_AVX2();
+  const auto& lut = kernels::accel::Lut8<Posit8>::instance();
+  for (const std::size_t n : kLengths) {
+    const auto a = random_bytes(n, 100 + n);
+    auto b = random_bytes(n, 200 + n);
+    std::vector<std::uint8_t> want(n);
+    for (std::size_t i = 0; i < n; ++i)
+      want[i] = lut.add_data()[(static_cast<std::size_t>(a[i]) << 8) | b[i]];
+    // In-place on the second operand, as the axpy kernel uses it.
+    kernels::simd::gather_pairs(lut.add_data(), a.data(), b.data(), b.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(b[i], want[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(KernelSimd, Lookup256MapExhaustive) {
+  MFLA_SKIP_WITHOUT_AVX2();
+  const auto& lut = kernels::accel::Lut8<Takum8>::instance();
+  const std::uint8_t* row = lut.mul_row(0x37);
+  for (const std::size_t n : kLengths) {
+    std::vector<std::uint8_t> x(n), out(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    kernels::simd::lookup256_map(row, x.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], row[x[i]]) << "n=" << n << " i=" << i;
+    // In-place form (scal).
+    kernels::simd::lookup256_map(row, x.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(x[i], out[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(KernelSimd, Transpose8x8Bytes) {
+  MFLA_SKIP_WITHOUT_AVX2();
+  const std::size_t ldx = 11;  // deliberately not 8: columns are strided
+  std::vector<std::uint8_t> x(8 * ldx);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<std::uint8_t>(i * 13 + 5);
+  std::uint8_t out[64];
+  kernels::simd::transpose8x8_bytes(x.data(), ldx, out);
+  for (std::size_t e = 0; e < 8; ++e)
+    for (std::size_t c = 0; c < 8; ++c)
+      ASSERT_EQ(out[e * 8 + c], x[c * ldx + e]) << "e=" << e << " c=" << c;
+}
+
+// -- Vectorized kernels against their scalar recurrences --------------------
+
+template <typename T>
+void check_bits_kernels() {
+  MFLA_SKIP_WITHOUT_AVX2();
+  using Codec = ScalarCodec<T>;
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  const std::uint8_t zero = Codec::to_bits(T(0));
+  const std::uint8_t* add = lut.add_data();
+  const std::uint8_t* addt = lut.add_t_data();
+  const std::uint8_t* mul = lut.mul_data();
+  for (const std::size_t n : kLengths) {
+    const auto x = random_bytes(n, 300 + n);
+    const auto y = random_bytes(n, 400 + n);
+
+    // dot: the scalar chain acc := addt[(mul[(x<<8)|y] << 8) | acc].
+    std::size_t acc = zero;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t p = mul[(static_cast<std::size_t>(x[i]) << 8) | y[i]];
+      acc = addt[(static_cast<std::size_t>(p) << 8) + acc];
+    }
+    ASSERT_EQ(kernels::simd::dot_bits(mul, addt, x.data(), y.data(), n, zero),
+              static_cast<std::uint8_t>(acc))
+        << NumTraits<T>::name() << " dot n=" << n;
+
+    // axpy with a fixed alpha row.
+    const std::uint8_t* row = lut.mul_row(0x5a);
+    std::vector<std::uint8_t> got = y, want = y;
+    for (std::size_t i = 0; i < n; ++i)
+      want[i] = add[(static_cast<std::size_t>(want[i]) << 8) | row[x[i]]];
+    kernels::simd::axpy_bits(add, row, x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(got[i], want[i]) << NumTraits<T>::name() << " axpy n=" << n << " i=" << i;
+
+    // scal as a pure map.
+    got = x;
+    kernels::simd::scal_bits(row, got.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(got[i], row[x[i]]) << NumTraits<T>::name() << " scal n=" << n << " i=" << i;
+  }
+}
+
+TEST(KernelSimd, BitsKernelsOFP8E4M3) { check_bits_kernels<OFP8E4M3>(); }
+TEST(KernelSimd, BitsKernelsOFP8E5M2) { check_bits_kernels<OFP8E5M2>(); }
+TEST(KernelSimd, BitsKernelsPosit8) { check_bits_kernels<Posit8>(); }
+TEST(KernelSimd, BitsKernelsTakum8) { check_bits_kernels<Takum8>(); }
+
+TEST(KernelSimd, DotBlockBitsMatchSingleDots) {
+  MFLA_SKIP_WITHOUT_AVX2();
+  using T = Posit8;
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  const std::uint8_t zero = ScalarCodec<T>::to_bits(T(0));
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{31}, std::size_t{32},
+                              std::size_t{33}, std::size_t{257}, std::size_t{1000}}) {
+    const std::size_t ldx = n + 3;
+    const auto x = random_bytes(16 * ldx, 500 + n);
+    const auto y = random_bytes(n, 600 + n);
+    std::uint8_t want[16];
+    for (std::size_t c = 0; c < 16; ++c)
+      want[c] = kernels::simd::dot_bits(lut.mul_data(), lut.add_t_data(), x.data() + c * ldx,
+                                        y.data(), n, zero);
+    std::uint8_t got[16];
+    kernels::simd::dot_block16_bits(lut.mul_data(), lut.add_t_data(), x.data(), ldx, y.data(),
+                                    n, zero, got);
+    for (std::size_t c = 0; c < 16; ++c) ASSERT_EQ(got[c], want[c]) << "16-wide c=" << c;
+    for (const std::size_t kc : {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{8}}) {
+      kernels::simd::dot_block8_bits(lut.mul_data(), lut.add_t_data(), x.data(), ldx, kc,
+                                     y.data(), n, zero, got);
+      for (std::size_t c = 0; c < kc; ++c)
+        ASSERT_EQ(got[c], want[c]) << "8-wide kc=" << kc << " c=" << c;
+    }
+  }
+}
+
+#undef MFLA_SKIP_WITHOUT_AVX2
+
+#endif  // MFLA_SIMD_COMPILED
+
+// -- SELL-8 plan construction and the sliced SpMV kernel --------------------
+// (Plain scalar code — no AVX2 host needed.)
+
+TEST(KernelSimd, SellPlanRejectsWideAndSkewed) {
+  // cols beyond 16 bits cannot live in the fused word.
+  const std::uint32_t row_ptr1[] = {0, 1};
+  const std::uint32_t col_idx1[] = {0};
+  const std::uint16_t offsets1[] = {0};
+  EXPECT_FALSE(kernels::build_sell_plan(1, 65537, row_ptr1, col_idx1, offsets1).valid);
+  EXPECT_TRUE(kernels::build_sell_plan(1, 65536, row_ptr1, col_idx1, offsets1).valid);
+  EXPECT_FALSE(kernels::build_sell_plan(0, 4, row_ptr1, col_idx1, offsets1).valid);
+
+  // One 200-nonzero row among 15 empty ones: padding would store 16 * 200
+  // words for 200 nonzeros, past the 4x + 64 blowup guard.
+  std::vector<std::uint32_t> row_ptr(17, 200);
+  row_ptr[0] = 0;
+  std::vector<std::uint32_t> col_idx(200);
+  std::vector<std::uint16_t> offsets(200);
+  for (std::uint32_t i = 0; i < 200; ++i) col_idx[i] = i;
+  EXPECT_FALSE(kernels::build_sell_plan(16, 256, row_ptr.data(), col_idx.data(), offsets.data())
+                   .valid);
+}
+
+TEST(KernelSimd, SellPlanLayoutAndPadding) {
+  // Ten rows (so two slices, the second partial) with lengths 2,0,3,1,...
+  const std::uint32_t row_ptr[] = {0, 2, 2, 5, 6, 8, 10, 11, 13, 14, 16};
+  const std::size_t rows = 10, nnz = 16;
+  std::vector<std::uint32_t> col_idx(nnz);
+  std::vector<std::uint16_t> offsets(nnz);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    col_idx[k] = static_cast<std::uint32_t>(k % 7);
+    offsets[k] = static_cast<std::uint16_t>((k * 37) << 8);
+  }
+  const kernels::SellPlan p =
+      kernels::build_sell_plan(rows, 7, row_ptr, col_idx.data(), offsets.data());
+  ASSERT_TRUE(p.valid);
+  ASSERT_EQ(p.slices.size(), 2u);
+  EXPECT_EQ(p.slices[0].maxl, 3u);  // longest of rows 0..7
+  EXPECT_EQ(p.slices[0].len[1], 0u);
+  EXPECT_EQ(p.slices[1].len[2], 0u);  // past the last row
+  ASSERT_EQ(p.fused.size(), 8u * p.slices[0].maxl + 8u * p.slices[1].maxl);
+  for (std::size_t si = 0; si < p.slices.size(); ++si) {
+    const auto& s = p.slices[si];
+    for (std::size_t c = 0; c < 8; ++c) {
+      for (std::uint32_t t = 0; t < s.maxl; ++t) {
+        const std::uint32_t word = p.fused[s.base + 8 * t + c];
+        if (s.len[c] == 0) {
+          EXPECT_EQ(word, 0u) << "empty row slice " << si << " lane " << c;
+          continue;
+        }
+        // Pad entries replicate the row's last real nonzero.
+        const std::uint32_t k =
+            row_ptr[si * 8 + c] + (t < s.len[c] ? t : s.len[c] - 1);
+        EXPECT_EQ(word, (static_cast<std::uint32_t>(offsets[k]) << 16) | col_idx[k])
+            << "slice " << si << " lane " << c << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(KernelSimd, SellSpmvMatchesPlannedScalar) {
+  using T = Takum8;
+  using Codec = ScalarCodec<T>;
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  Rng rng("sell_spmv", 1);
+  // Irregular matrix: row r has r % 5 nonzeros (some rows empty), 40 rows.
+  const std::size_t rows = 40, cols = 23;
+  std::vector<std::uint32_t> row_ptr(rows + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<std::uint16_t> offsets;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t len = r % 5;
+    for (std::size_t t = 0; t < len; ++t) {
+      col_idx.push_back(static_cast<std::uint32_t>(rng.uniform_index(cols)));
+      offsets.push_back(static_cast<std::uint16_t>((rng.next_u64() & 0xff) << 8));
+    }
+    row_ptr[r + 1] = static_cast<std::uint32_t>(col_idx.size());
+  }
+  const kernels::SellPlan plan =
+      kernels::build_sell_plan(rows, cols, row_ptr.data(), col_idx.data(), offsets.data());
+  ASSERT_TRUE(plan.valid);
+
+  const auto xb = random_bytes(cols, 77);
+  const std::uint8_t zero = Codec::to_bits(T(0));
+  // Scalar planned recurrence, row at a time.
+  std::vector<std::uint8_t> want(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t acc = zero;
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const std::uint8_t p = lut.mul_data()[offsets[k] | xb[col_idx[k]]];
+      acc = lut.add_t_data()[(static_cast<std::size_t>(p) << 8) + acc];
+    }
+    want[r] = static_cast<std::uint8_t>(acc);
+  }
+  std::vector<std::uint8_t> got(rows, 0xee);
+  kernels::spmv_sell_bits(lut.mul_data(), lut.add_t_data(), xb.data(), plan, rows, got.data(),
+                          zero);
+  for (std::size_t r = 0; r < rows; ++r) ASSERT_EQ(got[r], want[r]) << "row " << r;
+}
+
+#endif  // MFLA_ENABLE_LUT
+
+// -- Dispatch-level identity: every kernel, SIMD forced on vs off -----------
+
+template <typename T>
+CsrMatrix<T> test_matrix_irregular(std::size_t n, std::uint64_t salt) {
+  // Laplacian of a random graph plus a few empty rows: rows whose vertex is
+  // isolated have a single diagonal entry; to get genuinely empty rows we
+  // build the COO by hand from the pipeline output minus some rows.
+  Rng rng("simd_matrix", salt);
+  const CooMatrix lap = graph_laplacian_pipeline(
+      erdos_renyi(static_cast<std::uint32_t>(n), 6.0 / static_cast<double>(n), rng));
+  CooMatrix pruned(lap.rows(), lap.cols());
+  for (const auto& t : lap.triplets()) {
+    if (t.row % 11 == 5) continue;  // empty rows every 11
+    pruned.add(t.row, t.col, t.value);
+  }
+  return CsrMatrix<double>::from_coo(pruned).convert<T>();
+}
+
+template <typename T>
+void check_dispatch_on_off() {
+  using Codec = ScalarCodec<T>;
+  const T alpha = NumTraits<T>::from_double(-0.31);
+  for (const std::size_t n : kLengths) {
+    // +3 so the unaligned slices below stay in bounds.
+    const auto xv = from_bytes<T>(random_bytes(n + 3, 700 + n));
+    const auto yv = from_bytes<T>(random_bytes(n + 3, 800 + n));
+    for (const std::size_t shift : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+      const T* x = xv.data() + shift;
+      const T* y = yv.data() + shift;
+      T dot_on, dot_off;
+      std::vector<T> ax_on(y, y + n), ax_off(y, y + n), sc_on(x, x + n), sc_off(x, x + n);
+      {
+        SimdGuard simd(true);
+        dot_on = kernels::dot(n, x, y);
+        kernels::axpy(n, alpha, x, ax_on.data());
+        kernels::scal(n, alpha, sc_on.data());
+      }
+      {
+        SimdGuard simd(false);
+        dot_off = kernels::dot(n, x, y);
+        kernels::axpy(n, alpha, x, ax_off.data());
+        kernels::scal(n, alpha, sc_off.data());
+      }
+      ASSERT_EQ(Codec::to_bits(dot_on), Codec::to_bits(dot_off))
+          << NumTraits<T>::name() << " dot n=" << n << " shift=" << shift;
+      expect_same_bits(ax_on, ax_off, "axpy on/off");
+      expect_same_bits(sc_on, sc_off, "scal on/off");
+    }
+  }
+}
+
+TEST(KernelSimd, DispatchOnOffOFP8E4M3) { check_dispatch_on_off<OFP8E4M3>(); }
+TEST(KernelSimd, DispatchOnOffOFP8E5M2) { check_dispatch_on_off<OFP8E5M2>(); }
+TEST(KernelSimd, DispatchOnOffPosit8) { check_dispatch_on_off<Posit8>(); }
+TEST(KernelSimd, DispatchOnOffTakum8) { check_dispatch_on_off<Takum8>(); }
+
+template <typename T>
+void check_spmv_on_off() {
+  const auto a = test_matrix_irregular<T>(97, 1);
+  const auto x = from_bytes<T>(random_bytes(a.cols(), 42));
+  std::vector<T> y_on(a.rows()), y_off(a.rows()), y_noplan(a.rows());
+  {
+    SimdGuard simd(true);
+    a.matvec(x.data(), y_on.data());
+  }
+  {
+    SimdGuard simd(false);
+    a.matvec(x.data(), y_off.data());
+  }
+  // Generic (plan-less) kernel for the same product.
+  kernels::spmv(a.rows(), a.row_ptr().data(), a.col_idx().data(), a.values().data(), x.data(),
+                y_noplan.data());
+  expect_same_bits(y_on, y_off, "spmv simd on/off");
+  expect_same_bits(y_on, y_noplan, "spmv planned/generic");
+}
+
+TEST(KernelSimd, SpmvOnOffOFP8E4M3) { check_spmv_on_off<OFP8E4M3>(); }
+TEST(KernelSimd, SpmvOnOffOFP8E5M2) { check_spmv_on_off<OFP8E5M2>(); }
+TEST(KernelSimd, SpmvOnOffPosit8) { check_spmv_on_off<Posit8>(); }
+TEST(KernelSimd, SpmvOnOffTakum8) { check_spmv_on_off<Takum8>(); }
+
+// -- Multi-vector primitives vs k single-vector calls -----------------------
+
+template <typename T>
+void check_blocked_vs_singles() {
+  using Codec = ScalarCodec<T>;
+  const std::size_t n = 203;
+  for (const std::size_t k :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4}, std::size_t{5},
+        std::size_t{6}, std::size_t{7}, std::size_t{8}, std::size_t{9}, std::size_t{16},
+        std::size_t{17}, std::size_t{24}}) {
+    const std::size_t ldx = n + 5;
+    const auto xs = from_bytes<T>(random_bytes(k * ldx, 900 + k));
+    const auto y = from_bytes<T>(random_bytes(n, 950 + k));
+    const auto alphas = from_bytes<T>(random_bytes(k, 990 + k));
+    for (const bool simd_on : {true, false}) {
+      SimdGuard simd(simd_on);
+      // dot_block == k dots.
+      std::vector<T> blocked(k), singles(k);
+      kernels::dot_block(n, k, xs.data(), ldx, y.data(), blocked.data());
+      for (std::size_t c = 0; c < k; ++c)
+        singles[c] = kernels::dot(n, xs.data() + c * ldx, y.data());
+      for (std::size_t c = 0; c < k; ++c)
+        ASSERT_EQ(Codec::to_bits(blocked[c]), Codec::to_bits(singles[c]))
+            << NumTraits<T>::name() << " dot_block k=" << k << " c=" << c
+            << " simd=" << simd_on;
+      // axpy_block == k sequential axpys.
+      std::vector<T> yb(y), ys(y);
+      kernels::axpy_block(n, k, alphas.data(), xs.data(), ldx, yb.data());
+      for (std::size_t c = 0; c < k; ++c)
+        kernels::axpy(n, alphas[c], xs.data() + c * ldx, ys.data());
+      expect_same_bits(yb, ys, "axpy_block vs singles");
+      // ref:: blocked forms against ref:: singles, for symmetry.
+      kernels::ref::dot_block(n, k, xs.data(), ldx, y.data(), blocked.data());
+      for (std::size_t c = 0; c < k; ++c)
+        singles[c] = kernels::ref::dot(n, xs.data() + c * ldx, y.data());
+      for (std::size_t c = 0; c < k; ++c)
+        ASSERT_EQ(Codec::to_bits(blocked[c]), Codec::to_bits(singles[c]))
+            << NumTraits<T>::name() << " ref::dot_block k=" << k << " c=" << c;
+    }
+  }
+}
+
+TEST(KernelSimd, BlockedVsSinglesOFP8E4M3) { check_blocked_vs_singles<OFP8E4M3>(); }
+TEST(KernelSimd, BlockedVsSinglesPosit8) { check_blocked_vs_singles<Posit8>(); }
+TEST(KernelSimd, BlockedVsSinglesTakum8) { check_blocked_vs_singles<Takum8>(); }
+// A 16-bit format keeps the blocked primitives honest on the non-SIMD tier.
+TEST(KernelSimd, BlockedVsSinglesFloat16) { check_blocked_vs_singles<Float16>(); }
+
+template <typename T>
+void check_spmm_vs_matvecs() {
+  const auto a = test_matrix_irregular<T>(83, 2);
+  for (const std::size_t k :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{16}, std::size_t{17}, std::size_t{24}}) {
+    const std::size_t ldx = a.cols() + 2, ldy = a.rows() + 3;
+    const auto x = from_bytes<T>(random_bytes(k * ldx, 1100 + k));
+    for (const bool simd_on : {true, false}) {
+      SimdGuard simd(simd_on);
+      std::vector<T> yb(k * ldy, T(0)), ys(k * ldy, T(0));
+      a.matvec_block(x.data(), ldx, k, yb.data(), ldy);
+      for (std::size_t c = 0; c < k; ++c)
+        a.matvec(x.data() + c * ldx, ys.data() + c * ldy);
+      for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t r = 0; r < a.rows(); ++r)
+          ASSERT_EQ(ScalarCodec<T>::to_bits(yb[c * ldy + r]),
+                    ScalarCodec<T>::to_bits(ys[c * ldy + r]))
+              << NumTraits<T>::name() << " spmm k=" << k << " c=" << c << " r=" << r
+              << " simd=" << simd_on;
+    }
+  }
+}
+
+TEST(KernelSimd, SpmmVsMatvecsOFP8E4M3) { check_spmm_vs_matvecs<OFP8E4M3>(); }
+TEST(KernelSimd, SpmmVsMatvecsPosit8) { check_spmm_vs_matvecs<Posit8>(); }
+TEST(KernelSimd, SpmmVsMatvecsTakum8) { check_spmm_vs_matvecs<Takum8>(); }
+TEST(KernelSimd, SpmmVsMatvecsBFloat16) { check_spmm_vs_matvecs<BFloat16>(); }
+
+// -- arnoldi_step_batch vs per-lane arnoldi_step ----------------------------
+
+template <typename T>
+void check_arnoldi_batch() {
+  using Codec = ScalarCodec<T>;
+  const auto a = test_matrix_irregular<T>(48, 3);
+  const std::size_t n = a.rows(), steps = 5, lanes_n = 4, maxdim = steps + 1;
+
+  // Two identically-seeded sets of expansions; one advances via the batch
+  // call, the other one lane at a time.
+  struct Lane {
+    DenseMatrix<T> v, s;
+    Rng rng;
+    ArnoldiWorkspace<T> ws;
+    Lane(std::size_t n_, std::size_t maxdim_, std::uint64_t seed)
+        : v(n_, maxdim_ + 1), s(maxdim_ + 1, maxdim_), rng(seed) {
+      ws.reserve(n_, maxdim_);
+      Rng start(seed + 1000);
+      const auto u = start.unit_vector(n_);
+      for (std::size_t i = 0; i < n_; ++i) v(i, 0) = NumTraits<T>::from_double(u[i]);
+    }
+  };
+  std::vector<Lane> batch, solo;
+  for (std::size_t c = 0; c < lanes_n; ++c) {
+    batch.emplace_back(n, maxdim, 10 + c);
+    solo.emplace_back(n, maxdim, 10 + c);
+  }
+  std::vector<T> xblk, wblk;
+  for (std::size_t j = 0; j < steps; ++j) {
+    std::vector<ArnoldiBatchLane<T>> bl(lanes_n);
+    for (std::size_t c = 0; c < lanes_n; ++c) {
+      bl[c].v = &batch[c].v;
+      bl[c].s = &batch[c].s;
+      bl[c].j = j;
+      bl[c].rng = &batch[c].rng;
+      bl[c].ws = &batch[c].ws;
+    }
+    arnoldi_step_batch(a, bl.data(), lanes_n, xblk, wblk);
+    for (std::size_t c = 0; c < lanes_n; ++c) {
+      const ExpandStatus st = arnoldi_step(a, solo[c].v, solo[c].s, j, solo[c].rng, solo[c].ws);
+      ASSERT_EQ(bl[c].status, st) << "lane " << c << " step " << j;
+    }
+  }
+  for (std::size_t c = 0; c < lanes_n; ++c) {
+    for (std::size_t col = 0; col <= steps; ++col)
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(Codec::to_bits(batch[c].v(i, col)), Codec::to_bits(solo[c].v(i, col)))
+            << "lane " << c << " basis (" << i << ", " << col << ")";
+    for (std::size_t col = 0; col < steps; ++col)
+      for (std::size_t i = 0; i <= steps; ++i)
+        ASSERT_EQ(Codec::to_bits(batch[c].s(i, col)), Codec::to_bits(solo[c].s(i, col)))
+            << "lane " << c << " H (" << i << ", " << col << ")";
+  }
+}
+
+TEST(KernelSimd, ArnoldiBatchMatchesSoloPosit8) { check_arnoldi_batch<Posit8>(); }
+TEST(KernelSimd, ArnoldiBatchMatchesSoloOFP8E4M3) { check_arnoldi_batch<OFP8E4M3>(); }
+TEST(KernelSimd, ArnoldiBatchMatchesSoloFloat16) { check_arnoldi_batch<Float16>(); }
+
+// -- End to end: experiment CSVs byte-identical, SIMD on vs off -------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(KernelSimd, ExperimentCsvByteIdenticalSimdOnOff) {
+  std::vector<TestMatrix> ds;
+  Rng r1(7001), r2(7002);
+  ds.push_back(make_test_matrix("simd_er", "social", "soc",
+                                graph_laplacian_pipeline(erdos_renyi(40, 0.16, r1))));
+  ds.push_back(make_test_matrix("simd_sbm", "social", "soc",
+                                graph_laplacian_pipeline(stochastic_block(44, 2, 0.35, 0.07, r2))));
+  const std::vector<FormatId> formats = {
+      FormatId::ofp8_e4m3, FormatId::ofp8_e5m2, FormatId::posit8, FormatId::takum8,
+      FormatId::float16,   FormatId::float64,
+  };
+  ExperimentConfig cfg;
+  cfg.nev = 4;
+  cfg.buffer = 2;
+  cfg.max_restarts = 40;
+  cfg.reference_max_restarts = 150;
+
+  const auto run_to_csv = [&](bool simd_on, const std::string& tag) {
+    SimdGuard simd(simd_on);
+    const auto results = run_experiment(ds, formats, cfg, ScheduleOptions{});
+    const std::string path = "test_out/kernel_simd_" + tag + ".csv";
+    write_results_csv(path, results);
+    std::string data = slurp(path);
+    std::remove(path.c_str());
+    return data;
+  };
+
+  const std::string csv_on = run_to_csv(true, "on");
+  const std::string csv_off = run_to_csv(false, "off");
+  EXPECT_FALSE(csv_on.empty());
+  EXPECT_EQ(csv_on, csv_off);
+}
+
+}  // namespace
+}  // namespace mfla

@@ -126,6 +126,59 @@ TEST(Csr, ConvertChangesFormatNotPattern) {
   EXPECT_GT(p.at(1, 1).to_double(), 5e9);
 }
 
+TEST(Csr, MutableValuesInvalidatesPlannedPaths) {
+  // mutable_values() must drop BOTH precomputed plans (the per-nonzero
+  // offset plan and the SELL-8 slice plan behind it): a stale plan indexes
+  // the operation tables by the old value bits, so matvec and matvec_block
+  // would silently compute with the pre-edit matrix.
+  CooMatrix coo(6, 6);
+  Rng rng("mutable_values", 0);
+  for (std::uint32_t r = 0; r < 6; ++r)
+    for (std::uint32_t c = 0; c < 6; ++c)
+      if (r == c || rng.uniform() < 0.4) coo.add(r, c, rng.normal());
+  auto a = CsrMatrix<double>::from_coo(coo).convert<Posit8>();
+  ASSERT_TRUE(a.has_spmv_plan());
+
+  std::vector<Posit8> x;
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    x.push_back(NumTraits<Posit8>::from_double(rng.normal()));
+  const std::size_t k = 9;  // SIMD full chunk + scalar tail in matvec_block
+  std::vector<Posit8> xb;
+  for (std::size_t i = 0; i < k * a.cols(); ++i)
+    xb.push_back(NumTraits<Posit8>::from_double(rng.normal()));
+
+  // Edit a value in place: the plans must go stale together.
+  a.mutable_values()[0] = NumTraits<Posit8>::from_double(7.0);
+  EXPECT_FALSE(a.has_spmv_plan());
+
+  // Generic fallbacks must see the NEW value (bit-compare against the
+  // dispatching kernels on the same arrays).
+  std::vector<Posit8> y(a.rows()), want(a.rows());
+  a.matvec(x.data(), y.data());
+  kernels::spmv(a.rows(), a.row_ptr().data(), a.col_idx().data(), a.values().data(), x.data(),
+                want.data());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    ASSERT_EQ(ScalarCodec<Posit8>::to_bits(y[i]), ScalarCodec<Posit8>::to_bits(want[i]));
+  std::vector<Posit8> yb(k * a.rows()), wantb(k * a.rows());
+  a.matvec_block(xb.data(), a.cols(), k, yb.data(), a.rows());
+  kernels::spmm(a.rows(), a.row_ptr().data(), a.col_idx().data(), a.values().data(), k,
+                xb.data(), a.cols(), wantb.data(), a.rows());
+  for (std::size_t i = 0; i < yb.size(); ++i)
+    ASSERT_EQ(ScalarCodec<Posit8>::to_bits(yb[i]), ScalarCodec<Posit8>::to_bits(wantb[i]));
+
+  // Rebuilding restores the planned paths (including SELL-8 when the SIMD
+  // tier is compiled in) with bit-identical results.
+  a.rebuild_spmv_plan();
+  EXPECT_TRUE(a.has_spmv_plan());
+  std::vector<Posit8> y2(a.rows()), yb2(k * a.rows());
+  a.matvec(x.data(), y2.data());
+  a.matvec_block(xb.data(), a.cols(), k, yb2.data(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    ASSERT_EQ(ScalarCodec<Posit8>::to_bits(y2[i]), ScalarCodec<Posit8>::to_bits(y[i]));
+  for (std::size_t i = 0; i < yb2.size(); ++i)
+    ASSERT_EQ(ScalarCodec<Posit8>::to_bits(yb2[i]), ScalarCodec<Posit8>::to_bits(yb[i]));
+}
+
 TEST(Csr, MatrixExceedsRange) {
   CooMatrix coo(2, 2);
   coo.add(0, 0, 1.0);
