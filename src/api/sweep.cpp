@@ -12,7 +12,7 @@ namespace mfla::api {
 std::vector<FormatId> evaluation_formats() {
   std::vector<FormatId> out;
   for (const auto& f : all_formats()) {
-    if (f.id != FormatId::float128) out.push_back(f.id);
+    if (!f.reference_only) out.push_back(f.id);
   }
   return out;
 }
@@ -71,6 +71,14 @@ Sweep& Sweep::reference_restarts(int r) {
 }
 Sweep& Sweep::seed(std::uint64_t s) {
   cfg_.seed = s;
+  return *this;
+}
+Sweep& Sweep::reference_tier(ReferenceTier tier) {
+  cfg_.reference_tier = tier;
+  return *this;
+}
+Sweep& Sweep::reference_tier(const std::string& name) {
+  cfg_.reference_tier = reference_tier_from_name(name);
   return *this;
 }
 Sweep& Sweep::config(const ExperimentConfig& cfg) {

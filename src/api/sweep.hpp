@@ -71,6 +71,11 @@ class Sweep {
   Sweep& restarts(int r);
   Sweep& reference_restarts(int r);
   Sweep& seed(std::uint64_t s);
+  /// Reference arithmetic tier (default ReferenceTier::f128_only, today's
+  /// behavior). The string overload accepts the CLI spellings "f128_only"
+  /// and "dd_first" and throws std::invalid_argument on anything else.
+  Sweep& reference_tier(ReferenceTier tier);
+  Sweep& reference_tier(const std::string& name);
   Sweep& config(const ExperimentConfig& cfg);  ///< wholesale override
 
   // -- engine configuration (ScheduleOptions) -------------------------------

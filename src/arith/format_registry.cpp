@@ -20,7 +20,8 @@ const std::vector<FormatInfo>& all_formats() {
       {FormatId::float64, "float64", "f64", 64, "ieee"},
       {FormatId::takum64, "takum64", "t64", 64, "takum"},
       {FormatId::posit64, "posit64", "p64", 64, "posit"},
-      {FormatId::float128, "float128", "f128", 128, "ieee"},
+      {FormatId::dd, "dd", "dd", 128, "dd", /*reference_only=*/true},
+      {FormatId::float128, "float128", "f128", 128, "ieee", /*reference_only=*/true},
   };
   return table;
 }
@@ -44,11 +45,12 @@ const std::string& format_key(FormatId id) { return format_info(id).key; }
 
 namespace {
 
-/// The keys a sweep may select: everything except the float128 reference.
+/// The keys a sweep may select: everything except the reference
+/// arithmetics (dd fast tier, float128 oracle).
 std::string valid_keys_list() {
   std::string keys;
   for (const auto& f : all_formats()) {
-    if (f.id == FormatId::float128) continue;
+    if (f.reference_only) continue;
     if (!keys.empty()) keys += ' ';
     keys += f.key;
   }
@@ -79,10 +81,11 @@ std::vector<FormatId> parse_format_keys(const std::string& spec) {
     if (i == spec.size() || spec[i] == ',') {
       if (!token.empty()) {
         const FormatId id = format_from_key(token);
-        if (id == FormatId::float128)
+        if (format_info(id).reference_only)
           throw std::invalid_argument(
-              "'f128' is the float128 reference arithmetic; it cannot be selected as a "
-              "format under evaluation");
+              "'" + token + "' is the " + format_info(id).name +
+              " reference arithmetic; it cannot be selected as a format under evaluation "
+              "(pick the reference tier with --ref-tier / Sweep::reference_tier instead)");
         for (const FormatId seen : out) {
           if (seen == id)
             throw std::invalid_argument("duplicate format key '" + token + "'");

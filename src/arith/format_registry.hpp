@@ -26,6 +26,7 @@ enum class FormatId {
   float64,
   posit64,
   takum64,
+  dd,
   float128,
 };
 
@@ -34,7 +35,11 @@ struct FormatInfo {
   std::string name;    // e.g. "takum16"
   std::string key;     // short CLI/API key, e.g. "t16"
   int bits;            // storage width
-  std::string family;  // "ieee" | "ofp8" | "posit" | "takum"
+  std::string family;  // "ieee" | "ofp8" | "posit" | "takum" | "dd"
+  /// Reference arithmetics (double-double fast tier, float128 oracle):
+  /// selectable as a reference tier, never as a format under evaluation —
+  /// parse_format_keys rejects them and valid-key listings omit them.
+  bool reference_only = false;
 };
 
 /// All formats of the study, in the paper's presentation order.
@@ -87,6 +92,7 @@ decltype(auto) dispatch_format(FormatId id, Fn&& fn) {
     case FormatId::float64: return fn(TypeTag<double>{});
     case FormatId::posit64: return fn(TypeTag<Posit64>{});
     case FormatId::takum64: return fn(TypeTag<Takum64>{});
+    case FormatId::dd: return fn(TypeTag<DoubleDouble>{});
     case FormatId::float128: return fn(TypeTag<Quad>{});
   }
   // A FormatId forged from an out-of-range integer must not silently run

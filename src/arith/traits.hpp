@@ -10,8 +10,11 @@
 //   * to_double / from_double
 #pragma once
 
+#include <bit>
+#include <cstdint>
 #include <string>
 
+#include "arith/dd.hpp"
 #include "arith/posit.hpp"
 #include "arith/quad.hpp"
 #include "arith/softfloat.hpp"
@@ -64,6 +67,22 @@ struct NumTraits<Quad> {
   static constexpr double default_tolerance() noexcept { return 1e-20; }
   static double to_double(Quad x) noexcept { return static_cast<double>(x); }
   static Quad from_double(double x) noexcept { return x; }
+};
+
+template <>
+struct NumTraits<DoubleDouble> {
+  static constexpr int bits = 128;  // storage width (two packed doubles)
+  static constexpr bool tapered = false;
+  static std::string name() { return "dd"; }
+  /// Relative spacing of the normalized pair: 2^-104 (the lo word extends
+  /// the 53-bit hi significand by another 52 significant bits minimum).
+  static constexpr double epsilon() noexcept { return 0x1p-104; }
+  /// dd serves as the reference fast tier, so it inherits the reference
+  /// tolerance — the certification bound in core/reference_tier.hpp decides
+  /// whether a dd solve actually met it.
+  static constexpr double default_tolerance() noexcept { return 1e-20; }
+  static double to_double(DoubleDouble x) noexcept { return x.to_double(); }
+  static DoubleDouble from_double(double x) noexcept { return DoubleDouble::from_double(x); }
 };
 
 template <int E, int M, Flavor F>
@@ -171,6 +190,33 @@ struct ScalarCodec<TaperedFloat<Codec>> {
   /// (as the exact engine itself does).
   [[nodiscard]] static Unpacked bits_to_unpacked(Storage b) noexcept {
     return Scalar::from_bits(b).unpack();
+  }
+};
+
+/// dd's codec speaks in the packed bit patterns of its two components
+/// (hi in the upper 64 bits). The kernel accelerator ignores it (128-bit
+/// encodings are far beyond table range — accel_kind yields none); it
+/// exists so codec-keyed dispatch, the reference-tier cache keying and the
+/// round-trip tests can treat dd uniformly with the other emulated formats.
+template <>
+struct ScalarCodec<DoubleDouble> {
+  using Scalar = DoubleDouble;
+  using Storage = unsigned __int128;
+  static constexpr int bits = 128;
+  static constexpr bool tapered = false;
+  [[nodiscard]] static Storage to_bits(Scalar x) noexcept {
+    return (static_cast<Storage>(std::bit_cast<std::uint64_t>(x.hi)) << 64) |
+           std::bit_cast<std::uint64_t>(x.lo);
+  }
+  [[nodiscard]] static Scalar from_bits(Storage b) noexcept {
+    return {std::bit_cast<double>(static_cast<std::uint64_t>(b >> 64)),
+            std::bit_cast<double>(static_cast<std::uint64_t>(b))};
+  }
+  [[nodiscard]] static double bits_to_double(Storage b) noexcept {
+    return from_bits(b).to_double();
+  }
+  [[nodiscard]] static Storage bits_from_double(double d) noexcept {
+    return to_bits(Scalar::from_double(d));
   }
 };
 

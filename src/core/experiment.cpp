@@ -86,7 +86,7 @@ MatrixResult run_matrix(const TestMatrix& tm, const std::vector<FormatId>& forma
   Rng rng(tm.name, cfg.seed);
   const std::vector<double> start = rng.unit_vector(tm.n());
 
-  const ReferenceSolution ref = compute_reference(tm, cfg, start);
+  const ReferenceSolution ref = compute_reference_tiered(tm, cfg, start).solution;
   res.reference_ok = ref.ok;
   res.reference_failure = ref.failure;
   if (!ref.ok) return res;
@@ -120,7 +120,7 @@ struct EngineState {
   SweepStats sweep;
   std::mutex stats_mtx;
 
-  void count_reference(bool cache_hit, double seconds) {
+  void count_reference(bool cache_hit, double seconds, const ReferenceTierTelemetry* tier) {
     std::lock_guard<std::mutex> lk(stats_mtx);
     if (cache_hit) {
       ++sweep.reference_cache_hits;
@@ -128,6 +128,15 @@ struct EngineState {
     } else {
       ++sweep.reference_solves;
       sweep.reference_seconds += seconds;
+      if (tier != nullptr) {
+        if (tier->dd_attempted) {
+          ++sweep.reference_dd_solves;
+          sweep.reference_dd_seconds += tier->dd_seconds;
+          if (tier->dd_certified) ++sweep.reference_dd_certified;
+          if (tier->promoted) ++sweep.reference_promotions;
+        }
+        sweep.reference_f128_seconds += tier->f128_seconds;
+      }
     }
   }
 
@@ -265,30 +274,33 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
         const TestMatrix& tm = dataset[i];
         Rng rng(tm.name, cfg.seed);
         auto start = std::make_shared<const std::vector<double>>(rng.unit_vector(tm.n()));
-        // Prerequisite: the float128 reference — served from the persistent
-        // cache when one is attached and holds a valid entry for this exact
-        // (matrix bits, config, start vector), recomputed (and re-stored)
-        // otherwise. Cached solutions are bit-identical to fresh ones, so
-        // every downstream format run is byte-identical either way. The
-        // solution is published const: it is shared read-only across every
-        // format-run task of this matrix.
+        // Prerequisite: the tiered reference solve — served from the
+        // persistent cache when one is attached and holds a valid entry for
+        // this exact (matrix bits, config incl. tier, start vector),
+        // recomputed (and re-stored) otherwise. Cached solutions are
+        // bit-identical to fresh ones, so every downstream format run is
+        // byte-identical either way. The solution is published const: it is
+        // shared read-only across every format-run task of this matrix.
         std::shared_ptr<const ReferenceSolution> ref;
         {
           auto fresh = std::make_shared<ReferenceSolution>();
           bool cache_hit = false;
           Hash128 key;
+          ReferenceTierTelemetry tier;
           const auto rt0 = std::chrono::steady_clock::now();
           if (sched.ref_cache != nullptr) {
             key = reference_cache_key(tm.matrix, cfg, *start);
             cache_hit = sched.ref_cache->load(key, *fresh);
           }
           if (!cache_hit) {
-            *fresh = compute_reference(tm, cfg, *start);
+            TieredReference tr = compute_reference_tiered(tm, cfg, *start);
+            *fresh = std::move(tr.solution);
+            tier = std::move(tr.tier);
             if (sched.ref_cache != nullptr) sched.ref_cache->store(key, *fresh);
           }
           const double seconds =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - rt0).count();
-          st.count_reference(cache_hit, seconds);
+          st.count_reference(cache_hit, seconds, cache_hit ? nullptr : &tier);
           ref = std::move(fresh);
         }
         if (!ref->ok) {

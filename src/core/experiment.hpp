@@ -26,6 +26,7 @@
 #include "core/errors.hpp"
 #include "core/krylov_schur.hpp"
 #include "core/matching.hpp"
+#include "core/reference_tier.hpp"
 #include "datasets/test_matrix.hpp"
 #include "sparse/csr.hpp"
 #include "support/rng.hpp"
@@ -54,6 +55,11 @@ struct ExperimentConfig {
   int max_restarts = 60;           // per-format restart budget
   int reference_max_restarts = 150;
   std::uint64_t seed = 0xa11ce;
+  /// Reference arithmetic tier (core/reference_tier.hpp). The default runs
+  /// every reference solve in float128, exactly as before the dd tier
+  /// existed; dd_first tries double-double and promotes on an uncertified
+  /// residual bound. Part of the reference-cache key and journal meta.
+  ReferenceTier reference_tier = ReferenceTier::f128_only;
 };
 
 struct FormatRun {
@@ -94,6 +100,21 @@ struct ReferenceSolution {
 [[nodiscard]] ReferenceSolution compute_reference(const TestMatrix& tm,
                                                   const ExperimentConfig& cfg,
                                                   const std::vector<double>& start);
+
+/// A reference solve routed through the configured tier, plus what the
+/// tier did (core/reference_tier.cpp).
+struct TieredReference {
+  ReferenceSolution solution;
+  ReferenceTierTelemetry tier;
+};
+
+/// Reference solve honoring cfg.reference_tier: float128 directly under
+/// f128_only; under dd_first a double-double solve whose residual bound is
+/// certified against kReferenceTolerance, promoted to compute_reference
+/// (bit-identical to f128_only) whenever certification fails.
+[[nodiscard]] TieredReference compute_reference_tiered(const TestMatrix& tm,
+                                                       const ExperimentConfig& cfg,
+                                                       const std::vector<double>& start);
 
 /// One format evaluation against a prepared reference.
 template <typename T>
@@ -178,11 +199,19 @@ class ReferenceCache;  // core/reference_cache.hpp
 /// what the cache tests and bench_reference_cache observe: a fully warm
 /// sweep executes zero float128 solves.
 struct SweepStats {
-  std::size_t reference_solves = 0;   // float128 reference solves executed
+  std::size_t reference_solves = 0;   // reference solves executed (any tier)
   double reference_seconds = 0.0;     // wall-clock summed over those solves
   std::size_t reference_cache_hits = 0;
   double reference_cache_seconds = 0.0;  // wall-clock spent serving cache hits
   double format_seconds = 0.0;        // wall-clock summed over format runs
+  // Reference-tier breakdown (core/reference_tier.hpp). Under f128_only
+  // the dd counters stay zero and reference_f128_seconds ==
+  // reference_seconds.
+  std::size_t reference_dd_solves = 0;     // dd-tier solves attempted
+  std::size_t reference_dd_certified = 0;  // dd results accepted by the bound
+  std::size_t reference_promotions = 0;    // dd rejections re-solved in f128
+  double reference_dd_seconds = 0.0;       // wall-clock of dd solves + certification
+  double reference_f128_seconds = 0.0;     // wall-clock of float128 solves
 };
 
 /// Engine knobs, orthogonal to the numerical ExperimentConfig.

@@ -114,6 +114,13 @@ Hash128 reference_cache_key(const CsrMatrix<double>& matrix, const ExperimentCon
   // these bits and deliberately misses: a cache hit always reproduces the
   // exact sweep the engine would run cold.)
   h.span(start.data(), start.size());
+  // Reference tier. Hashed only for non-default tiers so every cache
+  // entry written before the dd tier existed stays valid for f128_only
+  // sweeps; dd_first entries get their own key space.
+  if (cfg.reference_tier != ReferenceTier::f128_only) {
+    h.str("ref-tier");
+    h.u64(static_cast<std::uint64_t>(cfg.reference_tier));
+  }
   return h.finish();
 }
 

@@ -1,0 +1,176 @@
+// Tiered reference driver (core/reference_tier.hpp has the contract).
+//
+// dd_first runs the reference IRAM in double-double arithmetic and then
+// *certifies* the result against the paper's float128 tolerance: the
+// partial-Schur residual E = A Q - Q R is recomputed column by column in
+// dd, and each kept column j must satisfy both
+//
+//     (1)  gamma <= kReferenceTolerance * max(|lambda_j|, tiny)
+//     (2)  res_j + gamma <= kDdCertifySlack * kReferenceTolerance
+//                           * max(|lambda_j|, tiny)
+//
+// where gamma = 16 n eps_dd ||A||_F bounds the rounding error of the dd
+// residual evaluation itself (each entry of E is a length-<=(nnz_row + k)
+// dd dot product; 16 n eps_dd ||A||_F dominates the accumulated error of
+// every column for the subspace sizes this driver sees).
+//
+// (1) is arithmetic adequacy: when gamma exceeds the tolerance threshold,
+// dd cannot even *measure* residuals at the 1e-20 |lambda| level — its
+// rounding noise drowns the quantity being certified — so the solve is
+// promoted no matter what residual was observed. This is what rejects
+// matrices whose kept eigenvalues are tiny relative to ||A||_F.
+//
+// (2) is convergence quality. The Krylov-Schur restart locks converged
+// blocks by annihilating couplings of size up to tol |lambda|, so the
+// *true* residual of the final decomposition accumulates a modest multiple
+// of tol |lambda| beyond the solver's spike criterion — identically in any
+// arithmetic, float128 included (measured: 10-200x on the test corpora).
+// kDdCertifySlack = 1024 covers that envelope while keeping the certified
+// bound at 1024e-20 ~ 1e-17 |lambda|, a factor ~20 below the double
+// rounding unit: a certified dd reference and the float128 oracle are each
+// that close to a true invariant pair, and since both tiers execute the
+// same deterministic restart trajectory their mutual difference is dd
+// rounding noise, far below the double rounding in which references are
+// consumed.
+//
+// When either bound fails — or the dd solve does not converge, keeps fewer
+// columns than requested, or produces non-finite values — the solve is
+// promoted: compute_reference runs exactly as under f128_only, so a
+// promoted solve is bit-identical to a pure-float128 sweep.
+#include "core/experiment.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "arith/dd.hpp"
+
+namespace mfla {
+
+namespace {
+
+/// Machine epsilon of the normalized double-double format (2^-104).
+constexpr double kDdEps = 0x1p-104;
+
+/// Residual slack over kReferenceTolerance accepted by certification
+/// bound (2) — the Krylov-Schur locking-accumulation envelope (see the
+/// file comment).
+constexpr double kDdCertifySlack = 1024.0;
+
+/// Outcome of one dd-tier attempt. failure empty <=> certified.
+struct DdAttempt {
+  ReferenceSolution solution;
+  double max_relative_residual = 0.0;
+  std::string failure;
+};
+
+DdAttempt attempt_dd_reference(const TestMatrix& tm, const ExperimentConfig& cfg,
+                               const std::vector<double>& start) {
+  DdAttempt out;
+  const std::size_t n = tm.n();
+  const CsrMatrix<DoubleDouble> add = tm.matrix.convert<DoubleDouble>();
+
+  PartialSchurOptions opts;
+  opts.nev = cfg.nev + cfg.buffer;
+  opts.which = cfg.which;
+  opts.tolerance = kReferenceTolerance;
+  opts.max_restarts = cfg.reference_max_restarts;
+  opts.start_vector = &start;
+  const auto r = partialschur<DoubleDouble>(add, opts);
+  if (!r.converged) {
+    out.failure = r.failure.empty() ? "dd reference did not converge" : "dd: " + r.failure;
+    return out;
+  }
+  const std::size_t k = cfg.nev + cfg.buffer;
+  const std::size_t keep = r.q.cols();
+  if (keep < k) {
+    out.failure = "dd reference kept fewer columns than requested";
+    return out;
+  }
+
+  // gamma = 16 n eps_dd ||A||_F, the evaluation-error margin of the dd
+  // residual below.
+  DoubleDouble fro2(0.0);
+  for (const DoubleDouble& v : add.values()) fro2 += v * v;
+  const double fro = sqrt(fro2).to_double();
+  const double gamma = 16.0 * static_cast<double>(n) * kDdEps * fro;
+  if (!std::isfinite(gamma)) {
+    out.failure = "dd certification margin is non-finite";
+    return out;
+  }
+
+  // Column-by-column residual of A Q - Q R in dd. R is quasi-triangular:
+  // column j only involves rows i <= j+1 (the +1 for a 2x2 block's
+  // subdiagonal), all of which are inside the kept block.
+  std::vector<DoubleDouble> aq(n);
+  constexpr double tiny = std::numeric_limits<double>::min();
+  for (std::size_t j = 0; j < k; ++j) {
+    add.matvec(r.q.col(j), aq.data());
+    const std::size_t top = std::min(j + 2, keep);
+    for (std::size_t i = 0; i < top; ++i) {
+      const DoubleDouble rij = r.r(i, j);
+      if (rij == DoubleDouble(0.0)) continue;
+      const DoubleDouble* qi = r.q.col(i);
+      for (std::size_t row = 0; row < n; ++row) aq[row] -= qi[row] * rij;
+    }
+    DoubleDouble res2(0.0);
+    for (std::size_t row = 0; row < n; ++row) res2 += aq[row] * aq[row];
+    const DoubleDouble res = sqrt(res2);
+    if (!is_number(res)) {
+      out.failure = "dd residual is non-finite";
+      return out;
+    }
+    const double mag = std::hypot(r.eig_re[j], r.eig_im[j]);
+    const double denom = std::max(mag, tiny);
+    const double rel = (res.to_double() + gamma) / denom;
+    out.max_relative_residual = std::max(out.max_relative_residual, rel);
+    if (!(gamma <= kReferenceTolerance * denom)) {
+      out.failure = "dd cannot resolve the reference tolerance for column " +
+                    std::to_string(j) + " (evaluation margin exceeds tol*|lambda|)";
+      return out;
+    }
+    if (!(res.to_double() + gamma <= kDdCertifySlack * kReferenceTolerance * denom)) {
+      out.failure = "dd residual bound uncertifiable for column " + std::to_string(j);
+      return out;
+    }
+  }
+
+  out.solution.values.assign(r.eig_re.begin(), r.eig_re.begin() + static_cast<long>(k));
+  out.solution.vectors = DenseMatrix<double>(n, k);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      out.solution.vectors(i, j) = NumTraits<DoubleDouble>::to_double(r.q(i, j));
+  out.solution.ok = true;
+  return out;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+TieredReference compute_reference_tiered(const TestMatrix& tm, const ExperimentConfig& cfg,
+                                         const std::vector<double>& start) {
+  TieredReference out;
+  if (cfg.reference_tier == ReferenceTier::dd_first) {
+    out.tier.dd_attempted = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    DdAttempt dd = attempt_dd_reference(tm, cfg, start);
+    out.tier.dd_seconds = seconds_since(t0);
+    if (dd.failure.empty()) {
+      out.tier.dd_certified = true;
+      out.tier.certified_residual = dd.max_relative_residual;
+      out.solution = std::move(dd.solution);
+      return out;
+    }
+    out.tier.promoted = true;
+    out.tier.dd_failure = std::move(dd.failure);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  out.solution = compute_reference(tm, cfg, start);
+  out.tier.f128_seconds = seconds_since(t0);
+  return out;
+}
+
+}  // namespace mfla

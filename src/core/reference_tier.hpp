@@ -1,0 +1,70 @@
+// The tiered reference engine's vocabulary: which arithmetic tiers the
+// per-matrix reference solve may use, and the telemetry one tiered solve
+// reports back to the sweep statistics.
+//
+// The paper defines the reference eigenpairs in software float128
+// (113-bit significand, tolerance 1e-20). That oracle stays authoritative;
+// the dd_first tier merely tries double-double arithmetic (arith/dd.hpp,
+// ~106-bit significand on hardware adds/fmas, typically an order of
+// magnitude faster than soft binary128) first and *certifies* the result:
+// it recomputes the partial-Schur residual ||A Q - Q R|| column by column
+// in dd and accepts only when, for every kept column j,
+//
+//     gamma <= kReferenceTolerance * max(|lambda_j|, tiny)            (1)
+//     res_j + gamma <= 1024 * kReferenceTolerance * max(|lambda_j|, tiny)
+//                                                                    (2)
+//
+// where gamma = 16 n eps_dd ||A||_F bounds the rounding error of the dd
+// residual evaluation itself. (1) rejects matrices on which dd cannot
+// even measure residuals at the tolerance scale; (2) accepts the locking
+// accumulation the restart scheme itself introduces (float128 included)
+// while pinning the certified bound ~20x below double rounding — see
+// core/reference_tier.cpp for the full derivation. Whenever the dd solve
+// fails to converge, produces non-finite values, or a bound fails, the
+// solve is transparently *promoted*: the float128 oracle runs exactly as
+// in f128_only mode, so promoted solves are bit-identical to a pure-f128
+// sweep by construction.
+//
+// The tier is part of the reference-cache key (f128_only hashes exactly as
+// before this tier existed, keeping old caches valid) and of the
+// checkpoint-journal meta, so byte-identity is preserved per tier.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mfla {
+
+enum class ReferenceTier {
+  f128_only,  ///< today's behavior: every reference solve in float128
+  dd_first,   ///< try double-double, promote to float128 when uncertified
+};
+
+[[nodiscard]] constexpr const char* reference_tier_name(ReferenceTier t) noexcept {
+  return t == ReferenceTier::dd_first ? "dd_first" : "f128_only";
+}
+
+/// Parse a CLI/API tier spelling; throws std::invalid_argument listing the
+/// valid names on anything else.
+[[nodiscard]] inline ReferenceTier reference_tier_from_name(const std::string& name) {
+  if (name == "f128_only") return ReferenceTier::f128_only;
+  if (name == "dd_first") return ReferenceTier::dd_first;
+  throw std::invalid_argument("unknown reference tier '" + name +
+                              "' (valid tiers: f128_only dd_first)");
+}
+
+/// What one tiered reference solve did, fed into SweepStats by the engine.
+struct ReferenceTierTelemetry {
+  bool dd_attempted = false;  ///< a dd solve ran (tier == dd_first)
+  bool dd_certified = false;  ///< the dd result passed the residual bound
+  bool promoted = false;      ///< fell through to the float128 oracle
+  double dd_seconds = 0.0;    ///< wall-clock of the dd solve + certification
+  double f128_seconds = 0.0;  ///< wall-clock of the float128 solve (if run)
+  /// Largest certified per-column relative residual of an accepted dd
+  /// solve (diagnostic; <= kReferenceTolerance when dd_certified).
+  double certified_residual = 0.0;
+  /// Why the dd tier was rejected (empty when certified or not attempted).
+  std::string dd_failure;
+};
+
+}  // namespace mfla

@@ -289,6 +289,13 @@ double field_num_or(const std::map<std::string, std::string>& obj, const char* k
   return obj.count(key) != 0 ? field_num(obj, key) : fallback;
 }
 
+/// Like field_u64 but with a default for absent keys (e.g. the reference
+/// tier, absent from journals written before it existed).
+std::uint64_t field_u64_or(const std::map<std::string, std::string>& obj, const char* key,
+                           std::uint64_t fallback) {
+  return obj.count(key) != 0 ? field_u64(obj, key) : fallback;
+}
+
 std::string field_str(const std::map<std::string, std::string>& obj, const char* key) {
   const auto it = obj.find(key);
   if (it == obj.end()) throw std::invalid_argument(std::string("missing field ") + key);
@@ -306,6 +313,7 @@ JournalMeta make_journal_meta(const ExperimentConfig& cfg, const std::vector<For
   m.max_restarts = cfg.max_restarts;
   m.reference_max_restarts = cfg.reference_max_restarts;
   m.seed = cfg.seed;
+  m.reference_tier = static_cast<int>(cfg.reference_tier);
   for (const FormatId id : formats) {
     if (!m.formats.empty()) m.formats += ',';
     m.formats += format_info(id).name;
@@ -352,6 +360,7 @@ void JournalWriter::write_meta(const JournalMeta& meta) {
       .integer("restarts", meta.max_restarts)
       .integer("ref_restarts", meta.reference_max_restarts)
       .uint("seed", meta.seed)
+      .integer("ref_tier", meta.reference_tier)
       .str("formats", meta.formats)
       .uint("matrices", meta.matrix_count);
   append_line(j.finish());
@@ -408,6 +417,7 @@ JournalContents read_journal(const std::string& path) {
         jc.meta.max_restarts = static_cast<int>(field_u64(obj, "restarts"));
         jc.meta.reference_max_restarts = static_cast<int>(field_u64(obj, "ref_restarts"));
         jc.meta.seed = field_u64(obj, "seed");
+        jc.meta.reference_tier = static_cast<int>(field_u64_or(obj, "ref_tier", 0));
         jc.meta.formats = field_str(obj, "formats");
         jc.meta.matrix_count = field_u64(obj, "matrices");
         jc.has_meta = true;

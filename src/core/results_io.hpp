@@ -51,6 +51,9 @@ struct JournalMeta {
   int max_restarts = 0;
   int reference_max_restarts = 0;
   std::uint64_t seed = 0;
+  /// static_cast<int>(ExperimentConfig::reference_tier); journals written
+  /// before the tier existed read back as 0 == f128_only, their behavior.
+  int reference_tier = 0;
   std::string formats;  // comma-joined format names in run order
   std::size_t matrix_count = 0;
 

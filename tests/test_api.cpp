@@ -80,10 +80,10 @@ TEST(FormatRegistry, UnknownKeyListsValidOnes) {
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("zzz"), std::string::npos);
-    // The message must enumerate the selectable keys (f128 is the
-    // reference arithmetic, deliberately not advertised).
+    // The message must enumerate the selectable keys (dd and f128 are
+    // reference arithmetics, deliberately not advertised).
     for (const auto& f : all_formats()) {
-      if (f.id == FormatId::float128) continue;
+      if (f.reference_only) continue;
       EXPECT_NE(msg.find(f.key), std::string::npos) << "key " << f.key << " not listed";
     }
   }
@@ -99,8 +99,9 @@ TEST(FormatRegistry, ParseFormatKeys) {
   EXPECT_THROW((void)parse_format_keys("f16,f16"), std::invalid_argument);
   EXPECT_THROW((void)parse_format_keys(""), std::invalid_argument);
   EXPECT_THROW((void)parse_format_keys(",,"), std::invalid_argument);
-  // The float128 reference is not a format under evaluation.
+  // The reference arithmetics are not formats under evaluation.
   EXPECT_THROW((void)parse_format_keys("f16,f128"), std::invalid_argument);
+  EXPECT_THROW((void)parse_format_keys("f16,dd"), std::invalid_argument);
 }
 
 TEST(FormatRegistry, DispatchFormatRejectsForgedIds) {

@@ -172,13 +172,16 @@ TYPED_TEST(ArithProperty, ToleranceMatchesPaper) {
 
 // ---- Registry coverage -------------------------------------------------------
 
-TEST(FormatRegistry, FifteenFormats) {
-  EXPECT_EQ(all_formats().size(), 15u);
+TEST(FormatRegistry, SixteenFormats) {
+  EXPECT_EQ(all_formats().size(), 16u);
   EXPECT_EQ(formats_for_width(8).size(), 4u);
   EXPECT_EQ(formats_for_width(16).size(), 4u);
   EXPECT_EQ(formats_for_width(32).size(), 3u);
   EXPECT_EQ(formats_for_width(64).size(), 3u);
-  EXPECT_EQ(formats_for_width(128).size(), 1u);
+  // Both 128-bit entries are reference-only: dd (the fast tier) and
+  // float128 (the oracle); neither is a format under evaluation.
+  EXPECT_EQ(formats_for_width(128).size(), 2u);
+  for (const auto& f : formats_for_width(128)) EXPECT_TRUE(f.reference_only);
 }
 
 TEST(FormatRegistry, DispatchRoundTrip) {

@@ -31,7 +31,7 @@ void print_usage(std::FILE* out) {
       "usage: mfla_experiment (--corpus NAME | files...) [--count N] [--nev K]\n"
       "       [--buffer B] [--restarts R] [--formats keys] [--out prefix]\n"
       "       [--threads N] [--checkpoint FILE] [--resume] [--ref-cache DIR]\n"
-      "       [--list-formats] [--help]\n");
+      "       [--ref-tier TIER] [--list-formats] [--help]\n");
 }
 
 [[noreturn]] void usage_error() {
@@ -67,8 +67,12 @@ void print_usage(std::FILE* out) {
       "                     and flushed\n"
       "  --resume           replay the checkpoint journal and run only the\n"
       "                     missing runs (requires --checkpoint)\n"
-      "  --ref-cache DIR    persistent cache of float128 reference solutions;\n"
-      "                     warm reruns skip the quad solves entirely\n"
+      "  --ref-cache DIR    persistent cache of reference solutions; warm\n"
+      "                     reruns skip the reference solves entirely\n"
+      "  --ref-tier TIER    reference arithmetic tier: f128_only (default;\n"
+      "                     every reference solve in float128) or dd_first\n"
+      "                     (try double-double, certify the residual bound,\n"
+      "                     promote to float128 when uncertifiable)\n"
       "  --list-formats     print the format table (key, name, bits, family)\n"
       "  --help, -h         this help\n",
       kDefaultFormats);
@@ -80,7 +84,7 @@ void print_usage(std::FILE* out) {
   for (const auto& f : all_formats()) {
     std::printf("%-6s %-10s %5d  %s%s\n", f.key.c_str(), f.name.c_str(), f.bits,
                 f.family.c_str(),
-                f.id == FormatId::float128 ? "  (reference arithmetic; not selectable)" : "");
+                f.reference_only ? "  (reference arithmetic; not selectable)" : "");
   }
   std::exit(0);
 }
@@ -115,6 +119,7 @@ int main(int argc, char** argv) {
   std::string out_prefix = "out/experiment";
   std::string formats_spec = kDefaultFormats;
   std::string ref_cache_dir;
+  std::string ref_tier_spec = "f128_only";
   std::string checkpoint_path;
   bool resume = false;
   std::size_t count = 24;
@@ -149,6 +154,8 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (arg == "--ref-cache") {
       ref_cache_dir = next();
+    } else if (arg == "--ref-tier") {
+      ref_tier_spec = next();
     } else if (arg == "--formats") {
       formats_spec = next();
     } else if (arg == "--out") {
@@ -177,6 +184,14 @@ int main(int argc, char** argv) {
     formats = parse_format_keys(formats_spec);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "--formats: %s\n", e.what());
+    return 2;
+  }
+
+  ReferenceTier ref_tier;
+  try {
+    ref_tier = reference_tier_from_name(ref_tier_spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--ref-tier: %s\n", e.what());
     return 2;
   }
 
@@ -214,8 +229,11 @@ int main(int argc, char** argv) {
   }
 
   const std::string threads_desc = threads == 0 ? "auto" : std::to_string(threads);
-  std::printf("running %zu matrices x %zu formats (nev=%zu buffer=%zu restarts=%d threads=%s)\n",
-              dataset.size(), formats.size(), nev, buffer, max_restarts, threads_desc.c_str());
+  std::printf(
+      "running %zu matrices x %zu formats (nev=%zu buffer=%zu restarts=%d threads=%s "
+      "ref-tier=%s)\n",
+      dataset.size(), formats.size(), nev, buffer, max_restarts, threads_desc.c_str(),
+      reference_tier_name(ref_tier));
   if (!checkpoint_path.empty()) {
     std::printf("checkpoint journal: %s%s\n", checkpoint_path.c_str(),
                 resume ? " (resuming)" : "");
@@ -229,6 +247,7 @@ int main(int argc, char** argv) {
         .nev(nev)
         .buffer(buffer)
         .restarts(max_restarts)
+        .reference_tier(ref_tier)
         .threads(threads)
         .sink(std::make_shared<api::ProgressSink>(stderr))
         .sink(std::make_shared<api::CsvSink>(out_prefix + "_raw.csv"));
@@ -244,11 +263,26 @@ int main(int argc, char** argv) {
     const RefCacheStats cs = result.cache;
     std::printf(
         "reference cache: %llu hits, %llu misses, %llu stored, %llu rejected "
-        "(%.1fs of float128 solves%s)\n",
+        "(%.1fs of reference solves%s)\n",
         static_cast<unsigned long long>(cs.hits), static_cast<unsigned long long>(cs.misses),
         static_cast<unsigned long long>(cs.stores), static_cast<unsigned long long>(cs.rejects),
         result.stats.reference_seconds,
         result.stats.reference_solves == 0 ? " — fully warm" : "");
+    // Per-stage times are summed across worker threads; the wall figure is
+    // the sweep's elapsed time.
+    std::printf(
+        "stage wall-clock: reference %.1fs, cache serving %.1fs, format runs %.1fs "
+        "summed over workers (sweep wall %.1fs)\n",
+        result.stats.reference_seconds, result.stats.reference_cache_seconds,
+        result.stats.format_seconds, result.elapsed_seconds);
+  }
+  if (ref_tier == ReferenceTier::dd_first) {
+    std::printf(
+        "reference tier: %zu dd solves (%zu certified, %zu promoted to float128), "
+        "dd %.1fs, float128 %.1fs\n",
+        result.stats.reference_dd_solves, result.stats.reference_dd_certified,
+        result.stats.reference_promotions, result.stats.reference_dd_seconds,
+        result.stats.reference_f128_seconds);
   }
 
   for (const int bits : {8, 16, 32, 64}) {
