@@ -144,6 +144,14 @@ class Lut8 {
   [[nodiscard]] const Storage* mul_row(Storage alpha_bits) const noexcept {
     return mul_.data() + (static_cast<std::size_t>(alpha_bits) << 8);
   }
+  /// Row alpha of the *transposed* mul table: mul_t_row(alpha)[x] ==
+  /// mul(x, alpha) — the operand order of the scal recurrence. Like addt_,
+  /// built as an explicit transpose of mul_, never by assuming
+  /// commutativity (the in-register map kernels need the fixed operand in
+  /// a contiguous 256-entry row whichever side it sits on).
+  [[nodiscard]] const Storage* mul_t_row(Storage alpha_bits) const noexcept {
+    return mult_.data() + (static_cast<std::size_t>(alpha_bits) << 8);
+  }
 
  private:
   Lut8() : add_(65536 + kGatherPad), mul_(65536 + kGatherPad), dec_(256) {
@@ -159,6 +167,9 @@ class Lut8 {
     addt_.assign(65536 + kGatherPad, Storage{0});
     for (unsigned a = 0; a < 256; ++a)
       for (unsigned b = 0; b < 256; ++b) addt_[(b << 8) | a] = add_[(a << 8) | b];
+    mult_.assign(65536 + kGatherPad, Storage{0});
+    for (unsigned a = 0; a < 256; ++a)
+      for (unsigned b = 0; b < 256; ++b) mult_[(b << 8) | a] = mul_[(a << 8) | b];
   }
 
   [[nodiscard]] static std::size_t index(T a, T b) noexcept {
@@ -169,6 +180,7 @@ class Lut8 {
   std::vector<Storage> add_;
   std::vector<Storage> addt_;
   std::vector<Storage> mul_;
+  std::vector<Storage> mult_;
   std::vector<double> dec_;
 };
 

@@ -1,0 +1,454 @@
+// AVX-512 kernels over the 8-bit LUT tables (kernels/accel.hpp), operating
+// on raw encoding bytes — the rung above kernels/simd_avx2.hpp on the ISA
+// ladder (kernels/simd.hpp).
+//
+// Every function here evaluates exactly the scalar LUT recurrences — the
+// tables are the arithmetic, SIMD only changes how entries are fetched:
+//
+//   * `vpgatherdd` (_mm512_i32gather_epi32) fetches sixteen table entries
+//     at once from the 256×256 add/mul tables — double the AVX2 gather
+//     width. Entries are bytes, gathers are 32-bit: each lane reads the
+//     word starting at its entry and masks to the low byte, which is why
+//     every gathered array carries Lut8::kGatherPad (tables) or
+//     kGatherSlack (staged operands) trailing bytes.
+//   * `vpermi2b` (_mm512_permutex2var_epi8, VBMI) resolves a whole
+//     256-entry single-row lookup (e.g. mul-by-fixed-alpha) entirely in
+//     registers: the table lives in four zmm registers, two two-source
+//     128-byte permutes cover the halves, and the index MSB selects
+//     between them via a mask blend — 64 lookups per step, zero memory
+//     traffic. This replaces AVX2's sixteen-chunk pshufb cascade.
+//   * accumulation chains (dot, spmv rows, spmm columns) are inherently
+//     sequential — LUT addition does not associate — so they either run
+//     scalar over vector-precomputed products (dot) or pack sixteen
+//     *independent* chains into the lanes of one gather (spmm columns,
+//     blocked dot, SELL-16 spmv rows). A chained gather costs ~4x a
+//     chained scalar load on current cores, so the chained kernels keep
+//     two gather chains in flight (spmm runs row pairs, the 32-wide
+//     blocked dot runs two lane groups, the SELL-16 spmv runs slice
+//     pairs).
+//
+// Chains index the *transposed* add table (Lut8::add_t_data, layout
+// (product << 8) | acc): the late-arriving accumulator sits in the low
+// bits, so the dependent operation is a single indexed load.
+//
+// The two ISA gates are independent, per function: the gather kernels
+// carry the AVX-512F/BW target attribute, the in-register decode kernels
+// additionally VBMI — callers gate on kernels::simd_avx512_active() /
+// simd_vbmi_active() respectively (see kernels/simd.hpp), so a host with
+// F/BW but no VBMI still runs the gather rung. Compiled only when
+// MFLA_SIMD_AVX512_COMPILED; no global -mavx512* flags are needed.
+#pragma once
+
+#include "kernels/simd.hpp"
+
+#if MFLA_SIMD_AVX512_COMPILED
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#define MFLA_TARGET_AVX512 __attribute__((target("avx512f,avx512bw")))
+#define MFLA_TARGET_AVX512_VBMI __attribute__((target("avx512f,avx512bw,avx512vbmi")))
+
+namespace mfla {
+namespace kernels {
+namespace simd512 {
+
+/// Bytes of headroom every gathered table/array must carry past its last
+/// addressable entry (32-bit gathers of byte entries read 3 bytes beyond).
+inline constexpr std::size_t kGatherSlack = 3;
+
+// -- Building blocks --------------------------------------------------------
+
+/// Sixteen byte-table entries at the byte indices in `idx` (32-bit lanes).
+/// `table` must have kGatherSlack bytes of headroom past the last entry.
+MFLA_TARGET_AVX512 inline __m512i gather_bytes(const std::uint8_t* table, __m512i idx) noexcept {
+  // The all-ones-mask form, not the plain intrinsic: GCC expands the plain
+  // one from an undefined source register, which trips -Wmaybe-uninitialized
+  // at every instantiation. Same single vpgatherdd either way.
+  const __m512i words =
+      _mm512_mask_i32gather_epi32(_mm512_setzero_si512(), __mmask16(0xffff), idx, table, 1);
+  return _mm512_and_si512(words, _mm512_set1_epi32(0xff));
+}
+
+/// v << 8 and v >> 16 on 32-bit lanes. The all-ones-mask forms for the same
+/// GCC 12 reason as gather_bytes (the plain shift/convert intrinsics expand
+/// from an undefined source, tripping -Wmaybe-uninitialized); identical
+/// instruction either way.
+MFLA_TARGET_AVX512 inline __m512i shl8_epi32(__m512i v) noexcept {
+  return _mm512_maskz_slli_epi32(__mmask16(0xffff), v, 8);
+}
+MFLA_TARGET_AVX512 inline __m512i shr16_epi32(__m512i v) noexcept {
+  return _mm512_maskz_srli_epi32(__mmask16(0xffff), v, 16);
+}
+
+/// Zero-extend 16 bytes at p into sixteen 32-bit lanes.
+MFLA_TARGET_AVX512 inline __m512i load16_epu32(const std::uint8_t* p) noexcept {
+  return _mm512_maskz_cvtepu8_epi32(__mmask16(0xffff),
+                                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+/// Store the low byte of each 32-bit lane: 16 contiguous bytes at `out`
+/// (`vpmovdb` — a single instruction, unlike AVX2's shuffle+extract).
+MFLA_TARGET_AVX512 inline void store_low_bytes16(std::uint8_t* out, __m512i v) noexcept {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm512_maskz_cvtepi32_epi8(__mmask16(0xffff), v));
+}
+
+/// out[i] = table2d[(a[i] << 8) | b[i]] — the generic two-operand table
+/// fetch behind the vectorized mul and (for independent elements) add
+/// stages, sixteen lanes per gather. In-place use (out aliasing a or b)
+/// is safe: each 16-element chunk is fully read before its result is
+/// stored.
+MFLA_TARGET_AVX512 inline void gather_pairs(const std::uint8_t* table2d, const std::uint8_t* a,
+                                            const std::uint8_t* b, std::uint8_t* out,
+                                            std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i va = load16_epu32(a + i);
+    const __m512i vb = load16_epu32(b + i);
+    const __m512i idx = _mm512_or_si512(shl8_epi32(va), vb);
+    store_low_bytes16(out + i, gather_bytes(table2d, idx));
+  }
+  for (; i < n; ++i)
+    out[i] = table2d[(static_cast<std::size_t>(a[i]) << 8) | b[i]];
+}
+
+/// A 256-entry byte table staged into four zmm registers for in-register
+/// `vpermi2b` lookups (VBMI).
+struct Lookup256 {
+  __m512i q0, q1, q2, q3;  ///< table bytes 0..63, 64..127, 128..191, 192..255
+};
+
+MFLA_TARGET_AVX512_VBMI inline Lookup256 load_lookup256(const std::uint8_t* row256) noexcept {
+  Lookup256 t;
+  t.q0 = _mm512_loadu_si512(row256);
+  t.q1 = _mm512_loadu_si512(row256 + 64);
+  t.q2 = _mm512_loadu_si512(row256 + 128);
+  t.q3 = _mm512_loadu_si512(row256 + 192);
+  return t;
+}
+
+/// 64 parallel 256-entry lookups: out[i] = table[x[i]]. Two `vpermi2b`
+/// permutes resolve the low and high 128-byte halves (the permute indexes
+/// by the low 7 bits), the index MSB mask-blends between them.
+MFLA_TARGET_AVX512_VBMI inline __m512i lookup256_apply(const Lookup256& t, __m512i x) noexcept {
+  const __m512i lo = _mm512_permutex2var_epi8(t.q0, x, t.q1);
+  const __m512i hi = _mm512_permutex2var_epi8(t.q2, x, t.q3);
+  const __mmask64 msb = _mm512_movepi8_mask(x);
+  return _mm512_mask_blend_epi8(msb, lo, hi);
+}
+
+/// out[i] = row256[x[i]] for a whole array (in-place allowed).
+MFLA_TARGET_AVX512_VBMI inline void lookup256_map(const std::uint8_t* row256,
+                                                  const std::uint8_t* x, std::uint8_t* out,
+                                                  std::size_t n) noexcept {
+  std::size_t i = 0;
+  if (n >= 64) {
+    const Lookup256 t = load_lookup256(row256);
+    for (; i + 64 <= n; i += 64) {
+      const __m512i v = _mm512_loadu_si512(x + i);
+      _mm512_storeu_si512(out + i, lookup256_apply(t, v));
+    }
+  }
+  for (; i < n; ++i) out[i] = row256[x[i]];
+}
+
+/// Transpose a 16x16 byte tile: reads x[c * ldx + e] for columns c and
+/// elements e in 0..16, writes element-major rows out[e * 16 + c]. This
+/// is the staging step of the blocked dot kernels — it turns sixteen
+/// strided column reads per element into one 16-byte load. Four rounds of
+/// the perfect-shuffle network (pair register i with i+8, byte-unpack)
+/// realize the transpose.
+MFLA_TARGET_AVX512 inline void transpose16x16_bytes(const std::uint8_t* x, std::size_t ldx,
+                                                    std::uint8_t* out) noexcept {
+  __m128i a[16], b[16];
+  for (int c = 0; c < 16; ++c)
+    a[c] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + c * ldx));
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      b[2 * i] = _mm_unpacklo_epi8(a[i], a[i + 8]);
+      b[2 * i + 1] = _mm_unpackhi_epi8(a[i], a[i + 8]);
+    }
+    for (int i = 0; i < 16; ++i) a[i] = b[i];
+  }
+  for (int e = 0; e < 16; ++e)
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + e * 16), a[e]);
+}
+
+// -- Kernels ----------------------------------------------------------------
+
+/// Product-buffer block size for the chained kernels (stack-resident, so
+/// the hot loops stay allocation-free); same sizing rationale as the AVX2
+/// tier — small enough that the next block's independent gathers fit the
+/// out-of-order window while the current block's accumulation chain
+/// drains.
+inline constexpr std::size_t kChainBlock = 32;
+
+/// Dot-product recurrence: acc := addt[(mul2d[(x[i]<<8)|y[i]] << 8) | acc]
+/// in index order, starting from acc0 (the bits of T(0)). The products are
+/// gathered sixteen at a time; the accumulation chain is the scalar chain.
+MFLA_TARGET_AVX512 inline std::uint8_t dot_bits(const std::uint8_t* mul2d,
+                                                const std::uint8_t* addt, const std::uint8_t* x,
+                                                const std::uint8_t* y, std::size_t n,
+                                                std::uint8_t acc0) noexcept {
+  std::uint8_t prod[kChainBlock];
+  std::size_t acc = acc0;
+  for (std::size_t base = 0; base < n; base += kChainBlock) {
+    const std::size_t m = n - base < kChainBlock ? n - base : kChainBlock;
+    gather_pairs(mul2d, x + base, y + base, prod, m);
+    for (std::size_t i = 0; i < m; ++i)
+      acc = addt[(static_cast<std::size_t>(prod[i]) << 8) + acc];
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+/// y[i] := add2d[(y[i] << 8) | mulrow[x[i]]] — axpy with the alpha row of
+/// the mul table. Products via in-register `vpermi2b` (64 per step), sums
+/// via 16-lane gathers (each element's chain has depth one, so the add
+/// stage is fully parallel).
+MFLA_TARGET_AVX512_VBMI inline void axpy_bits(const std::uint8_t* add2d,
+                                              const std::uint8_t* mulrow, const std::uint8_t* x,
+                                              std::uint8_t* y, std::size_t n) noexcept {
+  std::uint8_t prod[64];
+  std::size_t i = 0;
+  if (n >= 64) {
+    const Lookup256 t = load_lookup256(mulrow);
+    for (; i + 64 <= n; i += 64) {
+      _mm512_storeu_si512(prod, lookup256_apply(t, _mm512_loadu_si512(x + i)));
+      gather_pairs(add2d, y + i, prod, y + i, 64);
+    }
+  }
+  for (; i < n; ++i)
+    y[i] = add2d[(static_cast<std::size_t>(y[i]) << 8) | mulrow[x[i]]];
+}
+
+/// x[i] := mulrow[x[i]] — scal as a pure in-register 256-entry map.
+MFLA_TARGET_AVX512_VBMI inline void scal_bits(const std::uint8_t* mulrow, std::uint8_t* x,
+                                              std::size_t n) noexcept {
+  lookup256_map(mulrow, x, x, n);
+}
+
+/// One nonzero's advance of a 16-lane SpMM chain: gather the products
+/// mul2d[offsets[k] | xblk[col*16 + c]] for the sixteen lanes, then the
+/// dependent add through the transposed table.
+MFLA_TARGET_AVX512 inline __m512i spmm_advance(const std::uint8_t* mul2d,
+                                               const std::uint8_t* addt,
+                                               const std::uint32_t* col_idx,
+                                               const std::uint16_t* offsets,
+                                               const std::uint8_t* xblk, std::uint32_t k,
+                                               __m512i acc) noexcept {
+  const __m512i xb = load16_epu32(xblk + static_cast<std::size_t>(col_idx[k]) * 16);
+  const __m512i idx = _mm512_or_si512(_mm512_set1_epi32(offsets[k]), xb);
+  const __m512i pr = gather_bytes(mul2d, idx);
+  return gather_bytes(addt, _mm512_or_si512(shl8_epi32(pr), acc));
+}
+
+/// Planned SpMM over a chunk of kc <= 16 right-hand sides: the sixteen
+/// lanes carry sixteen *independent* column chains, so one gather per
+/// nonzero advances all of them — double the AVX2 amortization per
+/// traversal. Rows are processed in pairs, keeping two gather chains in
+/// flight. `xblk` interleaves the chunk's x encodings as xblk[col*16 + c]
+/// (dead lanes may hold anything valid); results go to y[c * ldy + r] for
+/// c < kc.
+MFLA_TARGET_AVX512 inline void spmm16_bits(const std::uint8_t* mul2d, const std::uint8_t* addt,
+                                           std::size_t rows, const std::uint32_t* row_ptr,
+                                           const std::uint32_t* col_idx,
+                                           const std::uint16_t* offsets,
+                                           const std::uint8_t* xblk, std::uint8_t* y,
+                                           std::size_t ldy, std::size_t kc,
+                                           std::uint8_t zero_bits) noexcept {
+  std::uint8_t lane[32];
+  const __m512i zero = _mm512_set1_epi32(zero_bits);
+  std::size_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const std::uint32_t b0 = row_ptr[r], l0 = row_ptr[r + 1] - b0;
+    const std::uint32_t b1 = row_ptr[r + 1], l1 = row_ptr[r + 2] - b1;
+    const std::uint32_t minl = l0 < l1 ? l0 : l1;
+    const std::uint32_t maxl = l0 < l1 ? l1 : l0;
+    __m512i acc0 = zero, acc1 = zero;
+    std::uint32_t t = 0;
+    for (; t < minl; ++t) {
+      acc0 = spmm_advance(mul2d, addt, col_idx, offsets, xblk, b0 + t, acc0);
+      acc1 = spmm_advance(mul2d, addt, col_idx, offsets, xblk, b1 + t, acc1);
+    }
+    for (; t < maxl; ++t) {
+      if (t < l0) acc0 = spmm_advance(mul2d, addt, col_idx, offsets, xblk, b0 + t, acc0);
+      if (t < l1) acc1 = spmm_advance(mul2d, addt, col_idx, offsets, xblk, b1 + t, acc1);
+    }
+    store_low_bytes16(lane, acc0);
+    store_low_bytes16(lane + 16, acc1);
+    for (std::size_t c = 0; c < kc; ++c) y[c * ldy + r] = lane[c];
+    for (std::size_t c = 0; c < kc; ++c) y[c * ldy + r + 1] = lane[16 + c];
+  }
+  if (r < rows) {
+    __m512i acc = zero;
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+      acc = spmm_advance(mul2d, addt, col_idx, offsets, xblk, k, acc);
+    store_low_bytes16(lane, acc);
+    for (std::size_t c = 0; c < kc; ++c) y[c * ldy + r] = lane[c];
+  }
+}
+
+/// Blocked dot over a chunk of kc <= 16 left-hand sides x_c (column-major,
+/// leading dimension ldx) against one y: sixteen independent dot chains in
+/// the lanes of one gather. Full chunks stage operands with the 16x16 byte
+/// transpose; partial chunks stage scalar, with dead lanes re-running
+/// column 0. Writes out[0..16).
+MFLA_TARGET_AVX512 inline void dot_block16_bits(const std::uint8_t* mul2d,
+                                                const std::uint8_t* addt, const std::uint8_t* x,
+                                                std::size_t ldx, std::size_t kc,
+                                                const std::uint8_t* y, std::size_t n,
+                                                std::uint8_t zero_bits,
+                                                std::uint8_t* out) noexcept {
+  std::uint8_t xblk[kChainBlock * 16];
+  __m512i acc = _mm512_set1_epi32(zero_bits);
+  for (std::size_t base = 0; base < n; base += kChainBlock) {
+    const std::size_t m = n - base < kChainBlock ? n - base : kChainBlock;
+    std::size_t i = 0;
+    if (kc == 16) {
+      for (; i + 16 <= m; i += 16) transpose16x16_bytes(x + base + i, ldx, xblk + i * 16);
+    }
+    for (; i < m; ++i) {
+      for (std::size_t c = 0; c < 16; ++c) {
+        const std::size_t col = c < kc ? c : 0;
+        xblk[i * 16 + c] = x[col * ldx + base + i];
+      }
+    }
+    for (i = 0; i < m; ++i) {
+      const __m512i xb = load16_epu32(xblk + i * 16);
+      const __m512i yb = _mm512_set1_epi32(y[base + i]);
+      const __m512i pr = gather_bytes(mul2d, _mm512_or_si512(shl8_epi32(xb), yb));
+      acc = gather_bytes(addt, _mm512_or_si512(shl8_epi32(pr), acc));
+    }
+  }
+  store_low_bytes16(out, acc);
+}
+
+/// Blocked dot over exactly thirty-two left-hand sides: two lane groups of
+/// sixteen, i.e. two independent gather chains in flight per element — one
+/// chain alone cannot saturate the gather unit. Writes out[0..32).
+MFLA_TARGET_AVX512 inline void dot_block32_bits(const std::uint8_t* mul2d,
+                                                const std::uint8_t* addt, const std::uint8_t* x,
+                                                std::size_t ldx, const std::uint8_t* y,
+                                                std::size_t n, std::uint8_t zero_bits,
+                                                std::uint8_t* out) noexcept {
+  std::uint8_t xb0[kChainBlock * 16];
+  std::uint8_t xb1[kChainBlock * 16];
+  __m512i acc0 = _mm512_set1_epi32(zero_bits);
+  __m512i acc1 = acc0;
+  for (std::size_t base = 0; base < n; base += kChainBlock) {
+    const std::size_t m = n - base < kChainBlock ? n - base : kChainBlock;
+    std::size_t i = 0;
+    for (; i + 16 <= m; i += 16) {
+      transpose16x16_bytes(x + base + i, ldx, xb0 + i * 16);
+      transpose16x16_bytes(x + 16 * ldx + base + i, ldx, xb1 + i * 16);
+    }
+    for (; i < m; ++i) {
+      for (std::size_t c = 0; c < 16; ++c) {
+        xb0[i * 16 + c] = x[c * ldx + base + i];
+        xb1[i * 16 + c] = x[(16 + c) * ldx + base + i];
+      }
+    }
+    for (i = 0; i < m; ++i) {
+      const __m512i yb = _mm512_set1_epi32(y[base + i]);
+      const __m512i pr0 = gather_bytes(
+          mul2d, _mm512_or_si512(shl8_epi32(load16_epu32(xb0 + i * 16)), yb));
+      const __m512i pr1 = gather_bytes(
+          mul2d, _mm512_or_si512(shl8_epi32(load16_epu32(xb1 + i * 16)), yb));
+      acc0 = gather_bytes(addt, _mm512_or_si512(shl8_epi32(pr0), acc0));
+      acc1 = gather_bytes(addt, _mm512_or_si512(shl8_epi32(pr1), acc1));
+    }
+  }
+  store_low_bytes16(out, acc0);
+  store_low_bytes16(out + 16, acc1);
+}
+
+/// One step of a SELL-16 slice's sixteen row chains: load the sixteen
+/// fused words of step t, gather the x bytes, the products, then the
+/// dependent add through the transposed table; keep the new accumulator
+/// only in lanes whose row really has a t-th nonzero (the mask reproduces
+/// the scalar kernel's t < len guard exactly, so pad entries change
+/// nothing).
+MFLA_TARGET_AVX512 inline __m512i sell16_advance(const std::uint8_t* mul2d,
+                                                 const std::uint8_t* addt,
+                                                 const std::uint8_t* xpad,
+                                                 const std::uint32_t* f, std::uint32_t t,
+                                                 __m512i lenv, __m512i acc) noexcept {
+  const __m512i e = _mm512_loadu_si512(f + std::size_t{16} * t);
+  const __m512i xb = gather_bytes(xpad, _mm512_and_si512(e, _mm512_set1_epi32(0xffff)));
+  const __m512i pr = gather_bytes(mul2d, _mm512_or_si512(shr16_epi32(e), xb));
+  const __m512i nx = gather_bytes(addt, _mm512_or_si512(shl8_epi32(pr), acc));
+  const __mmask16 live = _mm512_cmplt_epu32_mask(_mm512_set1_epi32(static_cast<int>(t)), lenv);
+  return _mm512_mask_mov_epi32(acc, live, nx);
+}
+
+/// Write one finished SELL-16 slice's sixteen accumulators to y, trimming
+/// the lanes past the last real row.
+MFLA_TARGET_AVX512 inline void sell16_emit(std::uint8_t* y, std::size_t rows, std::size_t si,
+                                           __m512i acc) noexcept {
+  const std::size_t r0 = si * 16;
+  if (r0 + 16 <= rows) {
+    store_low_bytes16(y + r0, acc);
+  } else {
+    std::uint8_t lane[16];
+    store_low_bytes16(lane, acc);
+    for (std::size_t c = 0; r0 + c < rows; ++c) y[r0 + c] = lane[c];
+  }
+}
+
+/// Planned SpMV over a SELL-16 plan, in the encoding-bit domain: sixteen
+/// independent row chains advance per gather, and slices are processed in
+/// pairs so two chained gathers are in flight. Every chain is the scalar
+/// chain of its row, in its original nonzero order — bit-identical by
+/// construction. `xpad` is a copy of the x encoding bytes with
+/// kGatherSlack bytes of headroom (the 32-bit gathers read past the last
+/// entry).
+MFLA_TARGET_AVX512 inline void spmv_sell16_bits(const std::uint8_t* mul2d,
+                                                const std::uint8_t* addt,
+                                                const std::uint8_t* xpad, const SellPlan& plan,
+                                                std::size_t rows, std::uint8_t* y,
+                                                std::uint8_t zero_bits) noexcept {
+  const __m512i zero = _mm512_set1_epi32(zero_bits);
+  const std::size_t nslices = plan.slices.size();
+  std::size_t si = 0;
+  for (; si + 2 <= nslices; si += 2) {
+    const SellPlan::Slice& s0 = plan.slices[si];
+    const SellPlan::Slice& s1 = plan.slices[si + 1];
+    const std::uint32_t* f0 = plan.fused.data() + s0.base;
+    const std::uint32_t* f1 = plan.fused.data() + s1.base;
+    const __m512i len0 = _mm512_loadu_si512(s0.len);
+    const __m512i len1 = _mm512_loadu_si512(s1.len);
+    __m512i a0 = zero, a1 = zero;
+    const std::uint32_t minl = s0.maxl < s1.maxl ? s0.maxl : s1.maxl;
+    std::uint32_t t = 0;
+    for (; t < minl; ++t) {
+      a0 = sell16_advance(mul2d, addt, xpad, f0, t, len0, a0);
+      a1 = sell16_advance(mul2d, addt, xpad, f1, t, len1, a1);
+    }
+    for (; t < s0.maxl; ++t) a0 = sell16_advance(mul2d, addt, xpad, f0, t, len0, a0);
+    for (; t < s1.maxl; ++t) a1 = sell16_advance(mul2d, addt, xpad, f1, t, len1, a1);
+    sell16_emit(y, rows, si, a0);
+    sell16_emit(y, rows, si + 1, a1);
+  }
+  if (si < nslices) {
+    const SellPlan::Slice& s = plan.slices[si];
+    const std::uint32_t* f = plan.fused.data() + s.base;
+    const __m512i lenv = _mm512_loadu_si512(s.len);
+    __m512i acc = zero;
+    for (std::uint32_t t = 0; t < s.maxl; ++t)
+      acc = sell16_advance(mul2d, addt, xpad, f, t, lenv, acc);
+    sell16_emit(y, rows, si, acc);
+  }
+}
+
+}  // namespace simd512
+}  // namespace kernels
+}  // namespace mfla
+
+#undef MFLA_TARGET_AVX512
+#undef MFLA_TARGET_AVX512_VBMI
+
+#endif  // MFLA_SIMD_AVX512_COMPILED

@@ -17,13 +17,15 @@
 //     independent chains advancing per nonzero this is already 2x+ faster
 //     than separate spmv calls: each chain alone is bounded by its
 //     dependent table-load latency, interleaved chains fill the gap.
-//   * SIMD path (kernels/simd_avx2.hpp spmm8_bits), full chunks only —
-//     the eight chunk chains live in the lanes of one `vpgatherdd`, one
-//     gather per nonzero advancing all of them; x bytes are staged
-//     interleaved (xblk[col * 8 + c]) so each nonzero's operands load as
-//     one 8-byte read. Partial chunks take the scalar interleave above:
-//     the gathers cost the same with dead lanes, the scalar chunk scales
-//     down with kc.
+//   * SIMD paths (kernels/simd_avx512.hpp spmm16_bits, then
+//     kernels/simd_avx2.hpp spmm8_bits), full chunks only — the chunk
+//     chains live in the lanes of one `vpgatherdd`, one gather per
+//     nonzero advancing all of them; x bytes are staged interleaved
+//     (xblk[col * W + c] for lane width W) so each nonzero's operands
+//     load as one read. The AVX-512 rung takes chunks of sixteen while
+//     they last, the AVX2 rung chunks of eight, and partial chunks take
+//     the scalar interleave above: the gathers cost the same with dead
+//     lanes, the scalar chunk scales down with kc.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +34,7 @@
 #include "kernels/accel.hpp"
 #include "kernels/simd.hpp"
 #include "kernels/simd_avx2.hpp"
+#include "kernels/simd_avx512.hpp"
 #include "kernels/spmv.hpp"
 
 namespace mfla {
@@ -92,11 +95,27 @@ void spmm_planned(std::size_t rows, std::size_t cols, const std::uint32_t* row_p
   const Storage zero_bits = Codec::to_bits(T(0));
   (void)cols;
   std::size_t c0 = 0;
+#if MFLA_SIMD_AVX512_COMPILED
+  // Sixteen lanes per gather while full 16-column chunks last; the
+  // remainder falls through to the 8-lane rung and the scalar chunk loop.
+  if (simd_avx512_active() && k >= 2 * detail::kSpmmChunk) {
+    auto& xblk = detail::simd_scratch(1);
+    if (xblk.size() < cols * 16) xblk.resize(cols * 16);
+    for (; c0 + 16 <= k; c0 += 16) {
+      for (std::size_t col = 0; col < cols; ++col) {
+        for (std::size_t c = 0; c < 16; ++c)
+          xblk[col * 16 + c] = detail::byte_ptr(x)[(c0 + c) * ldx + col];
+      }
+      simd512::spmm16_bits(lut.mul_data(), lut.add_t_data(), rows, row_ptr, col_idx, offsets,
+                           xblk.data(), detail::byte_ptr(y) + c0 * ldy, ldy, 16, zero_bits);
+    }
+  }
+#endif
 #if MFLA_SIMD_COMPILED
   // The gather kernel only pays off with all eight lanes live — a partial
   // chunk costs the same gathers as a full one, so fewer than eight
   // columns run faster through the interleaved scalar chunk loop below.
-  if (simd_active() && k >= detail::kSpmmChunk) {
+  if (simd_active() && k - c0 >= detail::kSpmmChunk) {
     auto& xblk = detail::simd_scratch(1);
     if (xblk.size() < cols * 8) xblk.resize(cols * 8);
     for (; c0 + detail::kSpmmChunk <= k; c0 += detail::kSpmmChunk) {

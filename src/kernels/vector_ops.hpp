@@ -31,6 +31,7 @@
 #include "kernels/accel.hpp"
 #include "kernels/simd.hpp"
 #include "kernels/simd_avx2.hpp"
+#include "kernels/simd_avx512.hpp"
 
 namespace mfla {
 namespace kernels {
@@ -207,6 +208,13 @@ template <typename T>
     if (detail::use_simd_lut8<T>()) {
       using Codec = ScalarCodec<T>;
       const auto& lut = accel::Lut8<T>::instance();
+#if MFLA_SIMD_AVX512_COMPILED
+      if (simd_avx512_active()) {
+        return Codec::from_bits(simd512::dot_bits(lut.mul_data(), lut.add_t_data(),
+                                                  detail::byte_ptr(x), detail::byte_ptr(y), n,
+                                                  Codec::to_bits(T(0))));
+      }
+#endif
       return Codec::from_bits(simd::dot_bits(lut.mul_data(), lut.add_t_data(),
                                              detail::byte_ptr(x), detail::byte_ptr(y), n,
                                              Codec::to_bits(T(0))));
@@ -221,13 +229,17 @@ template <typename T>
   return sqrt(dot(n, x, x));
 }
 
-// axpy and scal do NOT take a SIMD branch: their scalar LUT loops have
+// axpy and scal do NOT take an AVX2 branch: their scalar LUT loops have
 // independent per-element lookups (two loads / one load per element) and
 // run port-bound at ~2 loads per cycle already, so the pshufb/gather
 // forms (simd::axpy_bits, simd::scal_bits — kept, and covered by the
-// identity tests) measure at or below the scalar loops. Vectorized
-// fetches only pay where a *dependent* chain can be hidden behind other
-// chains (dot_block, spmm) or interleaved (SELL-8 spmv).
+// identity tests) measure at or below the scalar loops. The VBMI rung
+// changes the arithmetic for scal: the whole 256-entry mul row lives in
+// registers and `vpermi2b` maps 64 elements per step with zero table
+// traffic, which does beat the load-port bound. For axpy the add stage
+// is still one gather per element and measures below the scalar loop
+// (docs/PERFORMANCE.md), so axpy stays scalar and simd512::axpy_bits is
+// kept under the identity tests only.
 template <typename T>
 void axpy(std::size_t n, T alpha, const T* x, T* y) {
   accel::with_ops<T>([&](const auto& ops) { detail::axpy_impl(n, alpha, x, y, ops); });
@@ -235,13 +247,24 @@ void axpy(std::size_t n, T alpha, const T* x, T* y) {
 
 template <typename T>
 void scal(std::size_t n, T alpha, T* x) {
+#if MFLA_SIMD_AVX512_COMPILED
+  if constexpr (accel::accel_kind<T>() == accel::AccelKind::lut8) {
+    if (detail::use_simd_lut8<T>() && simd_vbmi_active()) {
+      using Codec = ScalarCodec<T>;
+      const auto& lut = accel::Lut8<T>::instance();
+      simd512::scal_bits(lut.mul_t_row(Codec::to_bits(alpha)), detail::byte_ptr(x), n);
+      return;
+    }
+  }
+#endif
   accel::with_ops<T>([&](const auto& ops) { detail::scal_impl(n, alpha, x, ops); });
 }
 
 /// out[c] = dot(n, x + c * ldx, y) for c < k. Bit-identical to k separate
-/// dot() calls; the SIMD path packs independent accumulation chains into
-/// gather lanes — sixteen at a time (two gather chains in flight) while
-/// they last, then eight — amortizing one traversal of y over them.
+/// dot() calls; the SIMD paths pack independent accumulation chains into
+/// gather lanes — thirty-two then sixteen at the AVX-512 rung, sixteen
+/// then eight at the AVX2 rung (always two gather chains in flight at the
+/// widest width) — amortizing one traversal of y over them.
 template <typename T>
 void dot_block(std::size_t n, std::size_t k, const T* x, std::size_t ldx, const T* y, T* out) {
 #if MFLA_SIMD_COMPILED
@@ -250,8 +273,25 @@ void dot_block(std::size_t n, std::size_t k, const T* x, std::size_t ldx, const 
       using Codec = ScalarCodec<T>;
       const auto& lut = accel::Lut8<T>::instance();
       const auto zero = Codec::to_bits(T(0));
-      std::uint8_t lane[16];
+      std::uint8_t lane[32];
       std::size_t c0 = 0;
+#if MFLA_SIMD_AVX512_COMPILED
+      if (simd_avx512_active()) {
+        for (; c0 + 32 <= k; c0 += 32) {
+          simd512::dot_block32_bits(lut.mul_data(), lut.add_t_data(),
+                                    detail::byte_ptr(x + c0 * ldx), ldx, detail::byte_ptr(y),
+                                    n, zero, lane);
+          for (std::size_t c = 0; c < 32; ++c) out[c0 + c] = Codec::from_bits(lane[c]);
+        }
+        if (c0 + 16 <= k) {
+          simd512::dot_block16_bits(lut.mul_data(), lut.add_t_data(),
+                                    detail::byte_ptr(x + c0 * ldx), ldx, 16,
+                                    detail::byte_ptr(y), n, zero, lane);
+          for (std::size_t c = 0; c < 16; ++c) out[c0 + c] = Codec::from_bits(lane[c]);
+          c0 += 16;
+        }
+      }
+#endif
       for (; c0 + 16 <= k; c0 += 16) {
         simd::dot_block16_bits(lut.mul_data(), lut.add_t_data(),
                                detail::byte_ptr(x + c0 * ldx), ldx, detail::byte_ptr(y), n,

@@ -56,6 +56,7 @@ class CsrMatrix {
     spmv_plan_.clear();
 #if MFLA_ENABLE_LUT
     sell_plan_.clear();
+    sell16_plan_.clear();
 #endif
     return values_;
   }
@@ -76,7 +77,7 @@ class CsrMatrix {
     if constexpr (kernels::spmv_plan_supported<T>()) {
       if (spmv_plan_.size() == values_.size() && kernels::lut_enabled()) {
         kernels::spmv_planned(rows_, row_ptr_.data(), col_idx_.data(), spmv_plan_.data(), x, y,
-                              &sell_plan_);
+                              &sell_plan_, &sell16_plan_);
         return;
       }
     }
@@ -102,9 +103,13 @@ class CsrMatrix {
   }
 
   /// (Re)compute the per-nonzero LUT row offsets and, when the SIMD tier
-  /// is compiled in, the SELL-8 slice plan over them (no-op for formats
-  /// wider than 8 bits). Called by the constructors; call manually after
-  /// editing values() in place.
+  /// is compiled in, the SELL slice plans over them — height 8 for the
+  /// interleaved-scalar kernel every vector rung runs, additionally
+  /// height 16 only if the AVX-512 SELL-16 gather dispatch is un-pinned
+  /// (kernels::kSpmvSell16Dispatch; it measured slower, so by default no
+  /// height-16 plan is built or consumed). No-op for formats wider than
+  /// 8 bits. Called by the constructors; call manually after editing
+  /// values() in place.
   void rebuild_spmv_plan() {
     if constexpr (kernels::spmv_plan_supported<T>()) {
       spmv_plan_ = kernels::build_spmv_plan(values_.data(), values_.size());
@@ -112,6 +117,10 @@ class CsrMatrix {
       if (kernels::simd_compiled()) {
         sell_plan_ = kernels::build_sell_plan(rows_, cols_, row_ptr_.data(), col_idx_.data(),
                                               spmv_plan_.data());
+      }
+      if (kernels::kSpmvSell16Dispatch && kernels::simd_avx512_compiled()) {
+        sell16_plan_ = kernels::build_sell_plan(rows_, cols_, row_ptr_.data(),
+                                                col_idx_.data(), spmv_plan_.data(), 16);
       }
 #endif
     }
@@ -155,9 +164,12 @@ class CsrMatrix {
   // after in-place value mutation). 2 bytes per nonzero.
   std::vector<std::uint16_t> spmv_plan_;
 #if MFLA_ENABLE_LUT
-  // SELL-8 slice plan over the offsets (SIMD tier; kernels/spmv.hpp).
-  // Invalidated together with spmv_plan_ by mutable_values().
+  // SELL slice plans over the offsets (SIMD tier; kernels/simd.hpp):
+  // height 8 for the interleaved-scalar kernel, height 16 for the AVX-512
+  // gather kernel. Invalidated together with spmv_plan_ by
+  // mutable_values().
   kernels::SellPlan sell_plan_;
+  kernels::SellPlan sell16_plan_;
 #endif
 };
 

@@ -1,23 +1,28 @@
-// Byte-identity and dispatch tests for the SIMD tier (kernels/simd.hpp,
-// kernels/simd_avx2.hpp, the SELL-8 plan in kernels/spmv.hpp):
-//   * capability reporting and the layered runtime switch (environment
-//     parsing, set_simd_enabled round trips, forced-scalar fallback),
-//   * exhaustive building blocks — gather_pairs over all 256x256 operand
-//     pairs of the add and mul tables, the transposed add table, the
-//     in-register 256-entry lookup, the 8x8 byte transpose,
+// Byte-identity and dispatch tests for the SIMD tiers (kernels/simd.hpp,
+// kernels/simd_avx2.hpp, kernels/simd_avx512.hpp, the SELL plans):
+//   * capability reporting and the runtime ISA ladder (environment
+//     parsing, set_simd_level / set_simd_enabled round trips against the
+//     cached host probe, forced-scalar fallback),
+//   * exhaustive building blocks on both vector rungs — gather_pairs over
+//     all 256x256 operand pairs of the add and mul tables, the transposed
+//     add and mul tables, the in-register 256-entry lookups (pshufb
+//     cascade and vpermi2b), the 8x8 and 16x16 byte transposes,
 //   * every vectorized kernel against its scalar LUT recurrence over
 //     awkward lengths (0, 1, lane-width +/- 1, large odd tails) and
 //     unaligned slices, on raw random encodings (all 256 bit patterns,
 //     including the formats' NaN/inf/NaR codes),
-//   * SELL-8 plan construction properties (validity guards, padding
-//     replication, empty rows) and the sliced SpMV kernel,
+//   * SELL-8/SELL-16 plan construction properties (validity guards,
+//     padding replication, empty rows) and both sliced SpMV kernels,
 //   * the multi-vector primitives against k single-vector calls, and
 //     arnoldi_step_batch against per-lane arnoldi_step,
-//   * an end-to-end experiment run whose result CSV must be byte-identical
-//     with SIMD on and off.
-// On hosts without AVX2 (or MFLA_ENABLE_SIMD=0 builds) the on/off
-// comparisons degenerate to scalar-vs-scalar and the intrinsic-level tests
-// skip, so the suite is meaningful in every CI configuration.
+//   * dispatch-level identity with the ladder pinned to every level
+//     (scalar / avx2 / avx512), pairwise via the scalar anchor, including
+//     an end-to-end experiment run whose result CSV must be byte-identical
+//     at every forced level.
+// On hosts without AVX2/AVX-512 (or builds with the tiers compiled out)
+// the forced-level comparisons degenerate to lower rungs — the cap
+// semantics make that automatic — and the intrinsic-level tests skip, so
+// the suite is meaningful in every CI configuration.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -36,6 +41,7 @@
 #include "kernels/accel.hpp"
 #include "kernels/simd.hpp"
 #include "kernels/simd_avx2.hpp"
+#include "kernels/simd_avx512.hpp"
 #include "kernels/spmm.hpp"
 #include "kernels/spmv.hpp"
 #include "kernels/vector_ops.hpp"
@@ -46,18 +52,34 @@
 namespace mfla {
 namespace {
 
-/// RAII override of the runtime SIMD switch (mirrors LutGuard in
+/// RAII pin of the ISA ladder cap (kernels::SimdLevel; mirrors LutGuard in
 /// test_kernel_accel.cpp).
-class SimdGuard {
+class LevelGuard {
  public:
-  explicit SimdGuard(bool on) : previous_(kernels::set_simd_enabled(on)) {}
-  ~SimdGuard() { kernels::set_simd_enabled(previous_); }
-  SimdGuard(const SimdGuard&) = delete;
-  SimdGuard& operator=(const SimdGuard&) = delete;
+  explicit LevelGuard(kernels::SimdLevel level) : previous_(kernels::set_simd_level(level)) {}
+  ~LevelGuard() { kernels::set_simd_level(previous_); }
+  LevelGuard(const LevelGuard&) = delete;
+  LevelGuard& operator=(const LevelGuard&) = delete;
 
  private:
-  bool previous_;
+  kernels::SimdLevel previous_;
 };
+
+/// Every ladder cap the dispatch-identity tests pin. Forcing a cap above
+/// what the host executes is deliberate — the cap semantics degrade it to
+/// the best available rung, so the comparisons stay meaningful (and test
+/// exactly that degradation) on AVX2-only or scalar hosts.
+const kernels::SimdLevel kLevels[] = {kernels::SimdLevel::scalar, kernels::SimdLevel::avx2,
+                                      kernels::SimdLevel::avx512};
+
+const char* level_name(kernels::SimdLevel level) {
+  switch (level) {
+    case kernels::SimdLevel::scalar: return "scalar";
+    case kernels::SimdLevel::avx2: return "avx2";
+    case kernels::SimdLevel::avx512: return "avx512";
+    default: return "auto";
+  }
+}
 
 /// Vector lengths that stress every code path: empty, scalar tails around
 /// the 8-lane and 32-byte widths, the kChainBlock boundary, and large odd
@@ -98,15 +120,33 @@ void expect_same_bits(const std::vector<T>& a, const std::vector<T>& b, const ch
 TEST(KernelSimd, CapsConsistent) {
   const kernels::SimdCaps caps = kernels::simd_caps();
   EXPECT_EQ(caps.compiled, kernels::simd_compiled());
-  EXPECT_EQ(caps.avx2, kernels::simd_supported());
+  EXPECT_EQ(caps.avx512_compiled, kernels::simd_avx512_compiled());
+  EXPECT_EQ(caps.compiled && caps.avx2, kernels::simd_supported());
   EXPECT_EQ(caps.enabled, kernels::simd_enabled());
+  EXPECT_EQ(caps.level, kernels::simd_level());
+  EXPECT_EQ(caps.enabled, caps.level != kernels::SimdLevel::scalar);
   EXPECT_EQ(caps.active, caps.compiled && caps.avx2 && caps.enabled);
   EXPECT_EQ(caps.active, kernels::simd_active());
-  EXPECT_STREQ(caps.isa, caps.active ? "avx2" : "scalar");
+  EXPECT_EQ(caps.avx512_active, kernels::simd_avx512_active());
+  EXPECT_EQ(caps.vbmi_active, kernels::simd_vbmi_active());
+  // The ladder is strictly layered: each rung implies the one below it.
+  EXPECT_TRUE(!caps.avx512_compiled || caps.compiled);
+  EXPECT_TRUE(!caps.avx512_active || caps.active);
+  EXPECT_TRUE(!caps.vbmi_active || caps.avx512_active);
+  EXPECT_EQ(caps.avx512_active,
+            caps.avx512_compiled && caps.avx512f && caps.avx512bw && caps.active &&
+                static_cast<int>(caps.level) >= static_cast<int>(kernels::SimdLevel::avx512));
+  EXPECT_STREQ(caps.isa, caps.avx512_active ? "avx512" : (caps.active ? "avx2" : "scalar"));
 #if !MFLA_SIMD_COMPILED
   EXPECT_FALSE(caps.compiled);
   EXPECT_FALSE(caps.avx2);  // simd_supported() is hard false when compiled out
   EXPECT_FALSE(caps.active);
+#endif
+#if !MFLA_SIMD_AVX512_COMPILED
+  EXPECT_FALSE(caps.avx512_compiled);
+  EXPECT_FALSE(caps.avx512f);  // probe short-circuits when the rung is out
+  EXPECT_FALSE(caps.avx512_active);
+  EXPECT_FALSE(caps.vbmi_active);
 #endif
 }
 
@@ -122,6 +162,25 @@ TEST(KernelSimd, EnvParsing) {
   EXPECT_FALSE(kernels::simd_env_requests_off("Off"));  // deliberate: exact tokens only
 }
 
+TEST(KernelSimd, EnvLevelParsing) {
+  using kernels::SimdLevel;
+  EXPECT_EQ(kernels::simd_env_level(nullptr), SimdLevel::auto_);
+  // Every off token pins scalar, plus the explicit level name.
+  EXPECT_EQ(kernels::simd_env_level("0"), SimdLevel::scalar);
+  EXPECT_EQ(kernels::simd_env_level("off"), SimdLevel::scalar);
+  EXPECT_EQ(kernels::simd_env_level("OFF"), SimdLevel::scalar);
+  EXPECT_EQ(kernels::simd_env_level("false"), SimdLevel::scalar);
+  EXPECT_EQ(kernels::simd_env_level("scalar"), SimdLevel::scalar);
+  EXPECT_EQ(kernels::simd_env_level("avx2"), SimdLevel::avx2);
+  EXPECT_EQ(kernels::simd_env_level("avx512"), SimdLevel::avx512);
+  // Everything else means best-available, exactly like unset.
+  EXPECT_EQ(kernels::simd_env_level("1"), SimdLevel::auto_);
+  EXPECT_EQ(kernels::simd_env_level("on"), SimdLevel::auto_);
+  EXPECT_EQ(kernels::simd_env_level("auto"), SimdLevel::auto_);
+  EXPECT_EQ(kernels::simd_env_level(""), SimdLevel::auto_);
+  EXPECT_EQ(kernels::simd_env_level("AVX512"), SimdLevel::auto_);  // exact tokens only
+}
+
 TEST(KernelSimd, SetEnabledReturnsPrevious) {
   const bool initial = kernels::simd_enabled();
   EXPECT_EQ(kernels::set_simd_enabled(false), initial);
@@ -130,6 +189,48 @@ TEST(KernelSimd, SetEnabledReturnsPrevious) {
   EXPECT_EQ(kernels::set_simd_enabled(true), false);
   EXPECT_TRUE(kernels::simd_enabled());
   kernels::set_simd_enabled(initial);
+}
+
+TEST(KernelSimd, SetLevelReturnsPreviousAndCapsFollow) {
+  using kernels::SimdLevel;
+  const SimdLevel initial = kernels::simd_level();
+  for (const SimdLevel level :
+       {SimdLevel::scalar, SimdLevel::avx2, SimdLevel::avx512, SimdLevel::auto_}) {
+    const SimdLevel before = kernels::simd_level();
+    EXPECT_EQ(kernels::set_simd_level(level), before);
+    EXPECT_EQ(kernels::simd_level(), level);
+    EXPECT_EQ(kernels::simd_enabled(), level != SimdLevel::scalar);
+  }
+  kernels::set_simd_level(initial);
+}
+
+// The immutable parts of the caps report come from a one-time host probe;
+// toggling the runtime switch back and forth must round-trip the mutable
+// parts and leave the cached fields bit-for-bit untouched.
+TEST(KernelSimd, SetEnabledRoundTripsAgainstCachedCaps) {
+  const kernels::SimdCaps before = kernels::simd_caps();
+  for (int round = 0; round < 3; ++round) {
+    kernels::set_simd_enabled(false);
+    const kernels::SimdCaps off = kernels::simd_caps();
+    EXPECT_FALSE(off.enabled);
+    EXPECT_FALSE(off.active);
+    EXPECT_FALSE(off.avx512_active);
+    EXPECT_STREQ(off.isa, "scalar");
+    kernels::set_simd_enabled(true);
+    const kernels::SimdCaps on = kernels::simd_caps();
+    EXPECT_TRUE(on.enabled);
+    EXPECT_EQ(on.level, kernels::SimdLevel::auto_);
+    for (const kernels::SimdCaps& caps : {off, on}) {
+      EXPECT_EQ(caps.compiled, before.compiled);
+      EXPECT_EQ(caps.avx512_compiled, before.avx512_compiled);
+      EXPECT_EQ(caps.avx2, before.avx2);
+      EXPECT_EQ(caps.avx512f, before.avx512f);
+      EXPECT_EQ(caps.avx512bw, before.avx512bw);
+      EXPECT_EQ(caps.avx512vbmi, before.avx512vbmi);
+    }
+    EXPECT_EQ(on.active, before.compiled && before.avx2);
+  }
+  kernels::set_simd_level(before.level);
 }
 
 #if MFLA_ENABLE_LUT
@@ -153,6 +254,28 @@ TEST(KernelSimd, AddTransposeOFP8E4M3) { check_add_transpose<OFP8E4M3>(); }
 TEST(KernelSimd, AddTransposeOFP8E5M2) { check_add_transpose<OFP8E5M2>(); }
 TEST(KernelSimd, AddTransposePosit8) { check_add_transpose<Posit8>(); }
 TEST(KernelSimd, AddTransposeTakum8) { check_add_transpose<Takum8>(); }
+
+/// Same for the transposed mul table behind mul_t_row (the VBMI scal path):
+/// mul_t_row(alpha)[x] must be mul(x, alpha) — the scal recurrence's
+/// operand order — for every (alpha, x) pair, never assuming the format's
+/// multiply commutes bitwise.
+template <typename T>
+void check_mul_transpose() {
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  const std::uint8_t* mul = lut.mul_data();
+  for (std::size_t alpha = 0; alpha < 256; ++alpha) {
+    const std::uint8_t* row =
+        lut.mul_t_row(static_cast<typename ScalarCodec<T>::Storage>(alpha));
+    for (std::size_t x = 0; x < 256; ++x)
+      ASSERT_EQ(row[x], mul[(x << 8) | alpha])
+          << NumTraits<T>::name() << " at (" << alpha << ", " << x << ")";
+  }
+}
+
+TEST(KernelSimd, MulTransposeOFP8E4M3) { check_mul_transpose<OFP8E4M3>(); }
+TEST(KernelSimd, MulTransposeOFP8E5M2) { check_mul_transpose<OFP8E5M2>(); }
+TEST(KernelSimd, MulTransposePosit8) { check_mul_transpose<Posit8>(); }
+TEST(KernelSimd, MulTransposeTakum8) { check_mul_transpose<Takum8>(); }
 
 #if MFLA_SIMD_COMPILED
 
@@ -361,6 +484,66 @@ TEST(KernelSimd, SellPlanLayoutAndPadding) {
   }
 }
 
+TEST(KernelSimd, SellPlanHeightGuardsAndMetadata) {
+  const std::uint32_t row_ptr[] = {0, 1};
+  const std::uint32_t col_idx[] = {0};
+  const std::uint16_t offsets[] = {0};
+  // Heights outside [1, kMaxHeight] cannot be laid out.
+  EXPECT_FALSE(kernels::build_sell_plan(1, 4, row_ptr, col_idx, offsets, 0).valid);
+  EXPECT_FALSE(kernels::build_sell_plan(1, 4, row_ptr, col_idx, offsets, 17).valid);
+  for (const std::size_t h : {std::size_t{8}, std::size_t{16}}) {
+    const kernels::SellPlan p = kernels::build_sell_plan(1, 4, row_ptr, col_idx, offsets, h);
+    ASSERT_TRUE(p.valid) << "height " << h;
+    EXPECT_EQ(p.height, h);
+    EXPECT_EQ(p.cols, 4u);  // records the x length its col indices address
+    EXPECT_EQ(p.slices.size(), 1u);
+    EXPECT_EQ(p.fused.size(), h);  // one slice, maxl 1
+  }
+}
+
+TEST(KernelSimd, Sell16PlanLayoutAndPadding) {
+  // Twenty rows (two slices, the second partial) with irregular lengths.
+  const std::size_t rows = 20, height = 16;
+  std::vector<std::uint32_t> row_ptr(rows + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<std::uint16_t> offsets;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t len = (r * 5 + 2) % 7;  // 2,0,5,3,1,6,4,...
+    for (std::size_t t = 0; t < len; ++t) {
+      col_idx.push_back(static_cast<std::uint32_t>((r + t) % 9));
+      offsets.push_back(static_cast<std::uint16_t>(((r * 31 + t * 7) & 0xff) << 8));
+    }
+    row_ptr[r + 1] = static_cast<std::uint32_t>(col_idx.size());
+  }
+  const kernels::SellPlan p = kernels::build_sell_plan(rows, 9, row_ptr.data(), col_idx.data(),
+                                                       offsets.data(), height);
+  ASSERT_TRUE(p.valid);
+  ASSERT_EQ(p.slices.size(), 2u);
+  EXPECT_EQ(p.slices[1].len[rows - 16 - 1], row_ptr[rows] - row_ptr[rows - 1]);
+  EXPECT_EQ(p.slices[1].len[rows - 16], 0u);  // past the last row
+  std::size_t want_words = 0;
+  for (const auto& s : p.slices) want_words += height * s.maxl;
+  ASSERT_EQ(p.fused.size(), want_words);
+  for (std::size_t si = 0; si < p.slices.size(); ++si) {
+    const auto& s = p.slices[si];
+    for (std::size_t c = 0; c < height; ++c) {
+      const std::size_t r = si * height + c;
+      ASSERT_EQ(s.len[c], r < rows ? row_ptr[r + 1] - row_ptr[r] : 0u) << "row " << r;
+      for (std::uint32_t t = 0; t < s.maxl; ++t) {
+        const std::uint32_t word = p.fused[s.base + height * t + c];
+        if (s.len[c] == 0) {
+          EXPECT_EQ(word, 0u) << "empty row slice " << si << " lane " << c;
+          continue;
+        }
+        // Pad entries replicate the row's last real nonzero.
+        const std::uint32_t k = row_ptr[r] + (t < s.len[c] ? t : s.len[c] - 1);
+        EXPECT_EQ(word, (static_cast<std::uint32_t>(offsets[k]) << 16) | col_idx[k])
+            << "slice " << si << " lane " << c << " t=" << t;
+      }
+    }
+  }
+}
+
 TEST(KernelSimd, SellSpmvMatchesPlannedScalar) {
   using T = Takum8;
   using Codec = ScalarCodec<T>;
@@ -401,9 +584,268 @@ TEST(KernelSimd, SellSpmvMatchesPlannedScalar) {
   for (std::size_t r = 0; r < rows; ++r) ASSERT_EQ(got[r], want[r]) << "row " << r;
 }
 
+// -- AVX-512 rung: the same ladder of checks at sixteen/sixty-four lanes ----
+
+#if MFLA_SIMD_AVX512_COMPILED
+
+#define MFLA_SKIP_WITHOUT_AVX512() \
+  if (!kernels::simd_avx512_supported()) GTEST_SKIP() << "host does not execute AVX-512F/BW"
+#define MFLA_SKIP_WITHOUT_VBMI() \
+  if (!kernels::simd_vbmi_supported()) GTEST_SKIP() << "host does not execute AVX-512VBMI"
+
+/// simd512::gather_pairs over all 65536 operand pairs of both tables.
+template <typename T>
+void check_gather_pairs16_exhaustive() {
+  MFLA_SKIP_WITHOUT_AVX512();
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  std::vector<std::uint8_t> a(65536), b(65536), out(65536);
+  for (std::size_t i = 0; i < 65536; ++i) {
+    a[i] = static_cast<std::uint8_t>(i >> 8);
+    b[i] = static_cast<std::uint8_t>(i & 0xff);
+  }
+  for (const std::uint8_t* table : {lut.add_data(), lut.mul_data()}) {
+    kernels::simd512::gather_pairs(table, a.data(), b.data(), out.data(), out.size());
+    for (std::size_t i = 0; i < 65536; ++i)
+      ASSERT_EQ(out[i], table[i]) << NumTraits<T>::name() << " pair " << i;
+  }
+}
+
+TEST(KernelSimd, GatherPairs16ExhaustiveOFP8E4M3) { check_gather_pairs16_exhaustive<OFP8E4M3>(); }
+TEST(KernelSimd, GatherPairs16ExhaustiveOFP8E5M2) { check_gather_pairs16_exhaustive<OFP8E5M2>(); }
+TEST(KernelSimd, GatherPairs16ExhaustivePosit8) { check_gather_pairs16_exhaustive<Posit8>(); }
+TEST(KernelSimd, GatherPairs16ExhaustiveTakum8) { check_gather_pairs16_exhaustive<Takum8>(); }
+
+TEST(KernelSimd, GatherPairs16TailsAndAliasing) {
+  MFLA_SKIP_WITHOUT_AVX512();
+  const auto& lut = kernels::accel::Lut8<Posit8>::instance();
+  for (const std::size_t n : kLengths) {
+    const auto a = random_bytes(n, 1300 + n);
+    auto b = random_bytes(n, 1400 + n);
+    std::vector<std::uint8_t> want(n);
+    for (std::size_t i = 0; i < n; ++i)
+      want[i] = lut.add_data()[(static_cast<std::size_t>(a[i]) << 8) | b[i]];
+    // In-place on the second operand, as the axpy kernel uses it.
+    kernels::simd512::gather_pairs(lut.add_data(), a.data(), b.data(), b.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(b[i], want[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+/// The vpermi2b in-register lookup against plain table indexing, for every
+/// possible input byte (the blend on the index MSB is the part that would
+/// break silently).
+TEST(KernelSimd, Lookup256VpermExhaustive) {
+  MFLA_SKIP_WITHOUT_VBMI();
+  const auto& lut = kernels::accel::Lut8<Takum8>::instance();
+  for (const std::uint8_t alpha : {std::uint8_t{0x00}, std::uint8_t{0x37}, std::uint8_t{0x80},
+                                   std::uint8_t{0xff}}) {
+    const std::uint8_t* row = lut.mul_row(alpha);
+    std::vector<std::uint8_t> x(256), out(256);
+    for (std::size_t i = 0; i < 256; ++i) x[i] = static_cast<std::uint8_t>(i);
+    kernels::simd512::lookup256_map(row, x.data(), out.data(), 256);
+    for (std::size_t i = 0; i < 256; ++i)
+      ASSERT_EQ(out[i], row[i]) << "alpha=" << int(alpha) << " byte " << i;
+  }
+}
+
+TEST(KernelSimd, Lookup256VpermTailsAndInPlace) {
+  MFLA_SKIP_WITHOUT_VBMI();
+  const auto& lut = kernels::accel::Lut8<Takum8>::instance();
+  const std::uint8_t* row = lut.mul_row(0x37);
+  for (const std::size_t n : kLengths) {
+    std::vector<std::uint8_t> x(n), out(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    kernels::simd512::lookup256_map(row, x.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], row[x[i]]) << "n=" << n << " i=" << i;
+    // In-place form (scal).
+    kernels::simd512::lookup256_map(row, x.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(x[i], out[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(KernelSimd, Transpose16x16Bytes) {
+  MFLA_SKIP_WITHOUT_AVX512();
+  const std::size_t ldx = 19;  // deliberately not 16: columns are strided
+  std::vector<std::uint8_t> x(16 * ldx);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<std::uint8_t>(i * 13 + 5);
+  std::uint8_t out[256];
+  kernels::simd512::transpose16x16_bytes(x.data(), ldx, out);
+  for (std::size_t e = 0; e < 16; ++e)
+    for (std::size_t c = 0; c < 16; ++c)
+      ASSERT_EQ(out[e * 16 + c], x[c * ldx + e]) << "e=" << e << " c=" << c;
+}
+
+template <typename T>
+void check_bits_kernels16() {
+  MFLA_SKIP_WITHOUT_AVX512();
+  using Codec = ScalarCodec<T>;
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  const std::uint8_t zero = Codec::to_bits(T(0));
+  const std::uint8_t* add = lut.add_data();
+  const std::uint8_t* addt = lut.add_t_data();
+  const std::uint8_t* mul = lut.mul_data();
+  const bool vbmi = kernels::simd_vbmi_supported();
+  for (const std::size_t n : kLengths) {
+    const auto x = random_bytes(n, 1500 + n);
+    const auto y = random_bytes(n, 1600 + n);
+
+    // dot: the scalar chain acc := addt[(mul[(x<<8)|y] << 8) | acc].
+    std::size_t acc = zero;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t p = mul[(static_cast<std::size_t>(x[i]) << 8) | y[i]];
+      acc = addt[(static_cast<std::size_t>(p) << 8) + acc];
+    }
+    ASSERT_EQ(kernels::simd512::dot_bits(mul, addt, x.data(), y.data(), n, zero),
+              static_cast<std::uint8_t>(acc))
+        << NumTraits<T>::name() << " dot n=" << n;
+
+    if (!vbmi) continue;  // the remaining kernels decode in-register
+
+    // axpy with a fixed alpha row: y := add[(y << 8) | mul(alpha, x)].
+    const std::uint8_t* row = lut.mul_row(0x5a);
+    std::vector<std::uint8_t> got = y, want = y;
+    for (std::size_t i = 0; i < n; ++i)
+      want[i] = add[(static_cast<std::size_t>(want[i]) << 8) | row[x[i]]];
+    kernels::simd512::axpy_bits(add, row, x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(got[i], want[i]) << NumTraits<T>::name() << " axpy n=" << n << " i=" << i;
+
+    // scal through the *transposed* mul row — the dispatch layer's operand
+    // order, x := mul(x, alpha).
+    const std::uint8_t* trow = lut.mul_t_row(0x5a);
+    got = x;
+    kernels::simd512::scal_bits(trow, got.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(got[i], mul[(static_cast<std::size_t>(x[i]) << 8) | 0x5a])
+          << NumTraits<T>::name() << " scal n=" << n << " i=" << i;
+  }
+}
+
+TEST(KernelSimd, BitsKernels16OFP8E4M3) { check_bits_kernels16<OFP8E4M3>(); }
+TEST(KernelSimd, BitsKernels16OFP8E5M2) { check_bits_kernels16<OFP8E5M2>(); }
+TEST(KernelSimd, BitsKernels16Posit8) { check_bits_kernels16<Posit8>(); }
+TEST(KernelSimd, BitsKernels16Takum8) { check_bits_kernels16<Takum8>(); }
+
+TEST(KernelSimd, DotBlock16And32BitsMatchSingleDots) {
+  MFLA_SKIP_WITHOUT_AVX512();
+  using T = Posit8;
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  const std::uint8_t zero = ScalarCodec<T>::to_bits(T(0));
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{31}, std::size_t{32},
+                              std::size_t{33}, std::size_t{257}, std::size_t{1000}}) {
+    const std::size_t ldx = n + 3;
+    const auto x = random_bytes(32 * ldx, 1700 + n);
+    const auto y = random_bytes(n, 1800 + n);
+    std::uint8_t want[32];
+    for (std::size_t c = 0; c < 32; ++c)
+      want[c] = kernels::simd512::dot_bits(lut.mul_data(), lut.add_t_data(), x.data() + c * ldx,
+                                           y.data(), n, zero);
+    std::uint8_t got[32];
+    kernels::simd512::dot_block32_bits(lut.mul_data(), lut.add_t_data(), x.data(), ldx,
+                                       y.data(), n, zero, got);
+    for (std::size_t c = 0; c < 32; ++c) ASSERT_EQ(got[c], want[c]) << "32-wide c=" << c;
+    for (const std::size_t kc : {std::size_t{1}, std::size_t{5}, std::size_t{15},
+                                 std::size_t{16}}) {
+      kernels::simd512::dot_block16_bits(lut.mul_data(), lut.add_t_data(), x.data(), ldx, kc,
+                                         y.data(), n, zero, got);
+      for (std::size_t c = 0; c < kc; ++c)
+        ASSERT_EQ(got[c], want[c]) << "16-wide kc=" << kc << " c=" << c;
+    }
+  }
+}
+
+TEST(KernelSimd, Spmm16BitsMatchesScalarChunk) {
+  MFLA_SKIP_WITHOUT_AVX512();
+  using T = OFP8E4M3;
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  const std::uint8_t zero = ScalarCodec<T>::to_bits(T(0));
+  Rng rng("spmm16", 3);
+  // Irregular rows incl. empty ones and an odd row count (single-row tail).
+  const std::size_t rows = 37, cols = 29, kc = 16, ldy = rows + 2;
+  std::vector<std::uint32_t> row_ptr(rows + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<std::uint16_t> offsets;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t len = (r * 3) % 6;
+    for (std::size_t t = 0; t < len; ++t) {
+      col_idx.push_back(static_cast<std::uint32_t>(rng.uniform_index(cols)));
+      offsets.push_back(static_cast<std::uint16_t>((rng.next_u64() & 0xff) << 8));
+    }
+    row_ptr[r + 1] = static_cast<std::uint32_t>(col_idx.size());
+  }
+  const auto xb = random_bytes(cols * kc, 1900);  // interleaved xblk[col*16 + c]
+  // Scalar reference: each lane chain in its own order.
+  std::vector<std::uint8_t> want(kc * ldy, 0xcc), got(kc * ldy, 0xcc);
+  for (std::size_t c = 0; c < kc; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::size_t acc = zero;
+      for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const std::uint8_t p = lut.mul_data()[offsets[k] | xb[col_idx[k] * kc + c]];
+        acc = lut.add_t_data()[(static_cast<std::size_t>(p) << 8) + acc];
+      }
+      want[c * ldy + r] = static_cast<std::uint8_t>(acc);
+    }
+  }
+  kernels::simd512::spmm16_bits(lut.mul_data(), lut.add_t_data(), rows, row_ptr.data(),
+                                col_idx.data(), offsets.data(), xb.data(), got.data(), ldy, kc,
+                                zero);
+  for (std::size_t c = 0; c < kc; ++c)
+    for (std::size_t r = 0; r < rows; ++r)
+      ASSERT_EQ(got[c * ldy + r], want[c * ldy + r]) << "c=" << c << " r=" << r;
+}
+
+TEST(KernelSimd, Sell16SpmvMatchesPlannedScalar) {
+  MFLA_SKIP_WITHOUT_AVX512();
+  using T = Takum8;
+  using Codec = ScalarCodec<T>;
+  const auto& lut = kernels::accel::Lut8<T>::instance();
+  Rng rng("sell16_spmv", 1);
+  // Odd slice count (3 slices: a pair + a remainder) with empty rows.
+  const std::size_t rows = 41, cols = 23;
+  std::vector<std::uint32_t> row_ptr(rows + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<std::uint16_t> offsets;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t len = r % 5;
+    for (std::size_t t = 0; t < len; ++t) {
+      col_idx.push_back(static_cast<std::uint32_t>(rng.uniform_index(cols)));
+      offsets.push_back(static_cast<std::uint16_t>((rng.next_u64() & 0xff) << 8));
+    }
+    row_ptr[r + 1] = static_cast<std::uint32_t>(col_idx.size());
+  }
+  const kernels::SellPlan plan = kernels::build_sell_plan(rows, cols, row_ptr.data(),
+                                                          col_idx.data(), offsets.data(), 16);
+  ASSERT_TRUE(plan.valid);
+  ASSERT_EQ(plan.slices.size(), 3u);
+
+  const auto xb = random_bytes(cols, 177);
+  std::vector<std::uint8_t> xpad(cols + kernels::simd512::kGatherSlack, 0);
+  std::memcpy(xpad.data(), xb.data(), cols);
+  const std::uint8_t zero = Codec::to_bits(T(0));
+  std::vector<std::uint8_t> want(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t acc = zero;
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const std::uint8_t p = lut.mul_data()[offsets[k] | xb[col_idx[k]]];
+      acc = lut.add_t_data()[(static_cast<std::size_t>(p) << 8) + acc];
+    }
+    want[r] = static_cast<std::uint8_t>(acc);
+  }
+  std::vector<std::uint8_t> got(rows, 0xee);
+  kernels::simd512::spmv_sell16_bits(lut.mul_data(), lut.add_t_data(), xpad.data(), plan, rows,
+                                     got.data(), zero);
+  for (std::size_t r = 0; r < rows; ++r) ASSERT_EQ(got[r], want[r]) << "row " << r;
+}
+
+#undef MFLA_SKIP_WITHOUT_AVX512
+#undef MFLA_SKIP_WITHOUT_VBMI
+
+#endif  // MFLA_SIMD_AVX512_COMPILED
+
 #endif  // MFLA_ENABLE_LUT
 
-// -- Dispatch-level identity: every kernel, SIMD forced on vs off -----------
+// -- Dispatch-level identity: every kernel, the ladder pinned per level -----
+// Scalar is the anchor; every other level must match it bit for bit, which
+// gives all pairwise identities (scalar == avx2 == avx512) by transitivity.
 
 template <typename T>
 CsrMatrix<T> test_matrix_irregular(std::size_t n, std::uint64_t salt) {
@@ -432,24 +874,26 @@ void check_dispatch_on_off() {
     for (const std::size_t shift : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
       const T* x = xv.data() + shift;
       const T* y = yv.data() + shift;
-      T dot_on, dot_off;
-      std::vector<T> ax_on(y, y + n), ax_off(y, y + n), sc_on(x, x + n), sc_off(x, x + n);
-      {
-        SimdGuard simd(true);
-        dot_on = kernels::dot(n, x, y);
-        kernels::axpy(n, alpha, x, ax_on.data());
-        kernels::scal(n, alpha, sc_on.data());
+      T dot_anchor{};
+      std::vector<T> ax_anchor, sc_anchor;
+      for (const kernels::SimdLevel level : kLevels) {
+        LevelGuard guard(level);
+        const T dot_here = kernels::dot(n, x, y);
+        std::vector<T> ax(y, y + n), sc(x, x + n);
+        kernels::axpy(n, alpha, x, ax.data());
+        kernels::scal(n, alpha, sc.data());
+        if (level == kernels::SimdLevel::scalar) {
+          dot_anchor = dot_here;
+          ax_anchor = ax;
+          sc_anchor = sc;
+          continue;
+        }
+        ASSERT_EQ(Codec::to_bits(dot_here), Codec::to_bits(dot_anchor))
+            << NumTraits<T>::name() << " dot n=" << n << " shift=" << shift << " level="
+            << level_name(level);
+        expect_same_bits(ax, ax_anchor, level_name(level));
+        expect_same_bits(sc, sc_anchor, level_name(level));
       }
-      {
-        SimdGuard simd(false);
-        dot_off = kernels::dot(n, x, y);
-        kernels::axpy(n, alpha, x, ax_off.data());
-        kernels::scal(n, alpha, sc_off.data());
-      }
-      ASSERT_EQ(Codec::to_bits(dot_on), Codec::to_bits(dot_off))
-          << NumTraits<T>::name() << " dot n=" << n << " shift=" << shift;
-      expect_same_bits(ax_on, ax_off, "axpy on/off");
-      expect_same_bits(sc_on, sc_off, "scal on/off");
     }
   }
 }
@@ -463,20 +907,21 @@ template <typename T>
 void check_spmv_on_off() {
   const auto a = test_matrix_irregular<T>(97, 1);
   const auto x = from_bytes<T>(random_bytes(a.cols(), 42));
-  std::vector<T> y_on(a.rows()), y_off(a.rows()), y_noplan(a.rows());
+  std::vector<T> y_anchor(a.rows()), y_noplan(a.rows());
   {
-    SimdGuard simd(true);
-    a.matvec(x.data(), y_on.data());
+    LevelGuard guard(kernels::SimdLevel::scalar);
+    a.matvec(x.data(), y_anchor.data());
   }
-  {
-    SimdGuard simd(false);
-    a.matvec(x.data(), y_off.data());
+  for (const kernels::SimdLevel level : kLevels) {
+    LevelGuard guard(level);
+    std::vector<T> y(a.rows());
+    a.matvec(x.data(), y.data());
+    expect_same_bits(y, y_anchor, level_name(level));
   }
   // Generic (plan-less) kernel for the same product.
   kernels::spmv(a.rows(), a.row_ptr().data(), a.col_idx().data(), a.values().data(), x.data(),
                 y_noplan.data());
-  expect_same_bits(y_on, y_off, "spmv simd on/off");
-  expect_same_bits(y_on, y_noplan, "spmv planned/generic");
+  expect_same_bits(y_anchor, y_noplan, "spmv planned/generic");
 }
 
 TEST(KernelSimd, SpmvOnOffOFP8E4M3) { check_spmv_on_off<OFP8E4M3>(); }
@@ -493,13 +938,14 @@ void check_blocked_vs_singles() {
   for (const std::size_t k :
        {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4}, std::size_t{5},
         std::size_t{6}, std::size_t{7}, std::size_t{8}, std::size_t{9}, std::size_t{16},
-        std::size_t{17}, std::size_t{24}}) {
+        std::size_t{17}, std::size_t{24}, std::size_t{31}, std::size_t{32}, std::size_t{33},
+        std::size_t{40}}) {
     const std::size_t ldx = n + 5;
     const auto xs = from_bytes<T>(random_bytes(k * ldx, 900 + k));
     const auto y = from_bytes<T>(random_bytes(n, 950 + k));
     const auto alphas = from_bytes<T>(random_bytes(k, 990 + k));
-    for (const bool simd_on : {true, false}) {
-      SimdGuard simd(simd_on);
+    for (const kernels::SimdLevel level : kLevels) {
+      LevelGuard guard(level);
       // dot_block == k dots.
       std::vector<T> blocked(k), singles(k);
       kernels::dot_block(n, k, xs.data(), ldx, y.data(), blocked.data());
@@ -508,7 +954,7 @@ void check_blocked_vs_singles() {
       for (std::size_t c = 0; c < k; ++c)
         ASSERT_EQ(Codec::to_bits(blocked[c]), Codec::to_bits(singles[c]))
             << NumTraits<T>::name() << " dot_block k=" << k << " c=" << c
-            << " simd=" << simd_on;
+            << " level=" << level_name(level);
       // axpy_block == k sequential axpys.
       std::vector<T> yb(y), ys(y);
       kernels::axpy_block(n, k, alphas.data(), xs.data(), ldx, yb.data());
@@ -537,11 +983,11 @@ void check_spmm_vs_matvecs() {
   const auto a = test_matrix_irregular<T>(83, 2);
   for (const std::size_t k :
        {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{7}, std::size_t{8},
-        std::size_t{9}, std::size_t{16}, std::size_t{17}, std::size_t{24}}) {
+        std::size_t{9}, std::size_t{16}, std::size_t{17}, std::size_t{24}, std::size_t{33}}) {
     const std::size_t ldx = a.cols() + 2, ldy = a.rows() + 3;
     const auto x = from_bytes<T>(random_bytes(k * ldx, 1100 + k));
-    for (const bool simd_on : {true, false}) {
-      SimdGuard simd(simd_on);
+    for (const kernels::SimdLevel level : kLevels) {
+      LevelGuard guard(level);
       std::vector<T> yb(k * ldy, T(0)), ys(k * ldy, T(0));
       a.matvec_block(x.data(), ldx, k, yb.data(), ldy);
       for (std::size_t c = 0; c < k; ++c)
@@ -551,7 +997,7 @@ void check_spmm_vs_matvecs() {
           ASSERT_EQ(ScalarCodec<T>::to_bits(yb[c * ldy + r]),
                     ScalarCodec<T>::to_bits(ys[c * ldy + r]))
               << NumTraits<T>::name() << " spmm k=" << k << " c=" << c << " r=" << r
-              << " simd=" << simd_on;
+              << " level=" << level_name(level);
     }
   }
 }
@@ -620,7 +1066,7 @@ TEST(KernelSimd, ArnoldiBatchMatchesSoloPosit8) { check_arnoldi_batch<Posit8>();
 TEST(KernelSimd, ArnoldiBatchMatchesSoloOFP8E4M3) { check_arnoldi_batch<OFP8E4M3>(); }
 TEST(KernelSimd, ArnoldiBatchMatchesSoloFloat16) { check_arnoldi_batch<Float16>(); }
 
-// -- End to end: experiment CSVs byte-identical, SIMD on vs off -------------
+// -- End to end: experiment CSVs byte-identical at every forced level -------
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -630,7 +1076,7 @@ std::string slurp(const std::string& path) {
   return ss.str();
 }
 
-TEST(KernelSimd, ExperimentCsvByteIdenticalSimdOnOff) {
+TEST(KernelSimd, ExperimentCsvByteIdenticalAcrossLevels) {
   std::vector<TestMatrix> ds;
   Rng r1(7001), r2(7002);
   ds.push_back(make_test_matrix("simd_er", "social", "soc",
@@ -647,20 +1093,22 @@ TEST(KernelSimd, ExperimentCsvByteIdenticalSimdOnOff) {
   cfg.max_restarts = 40;
   cfg.reference_max_restarts = 150;
 
-  const auto run_to_csv = [&](bool simd_on, const std::string& tag) {
-    SimdGuard simd(simd_on);
+  const auto run_to_csv = [&](kernels::SimdLevel level) {
+    LevelGuard guard(level);
     const auto results = run_experiment(ds, formats, cfg, ScheduleOptions{});
-    const std::string path = "test_out/kernel_simd_" + tag + ".csv";
+    const std::string path = std::string("test_out/kernel_simd_") + level_name(level) + ".csv";
     write_results_csv(path, results);
     std::string data = slurp(path);
     std::remove(path.c_str());
     return data;
   };
 
-  const std::string csv_on = run_to_csv(true, "on");
-  const std::string csv_off = run_to_csv(false, "off");
-  EXPECT_FALSE(csv_on.empty());
-  EXPECT_EQ(csv_on, csv_off);
+  const std::string csv_scalar = run_to_csv(kernels::SimdLevel::scalar);
+  EXPECT_FALSE(csv_scalar.empty());
+  for (const kernels::SimdLevel level : {kernels::SimdLevel::avx2, kernels::SimdLevel::avx512}) {
+    const std::string csv = run_to_csv(level);
+    EXPECT_EQ(csv, csv_scalar) << level_name(level);
+  }
 }
 
 }  // namespace

@@ -127,22 +127,23 @@ TEST(Csr, ConvertChangesFormatNotPattern) {
 }
 
 TEST(Csr, MutableValuesInvalidatesPlannedPaths) {
-  // mutable_values() must drop BOTH precomputed plans (the per-nonzero
-  // offset plan and the SELL-8 slice plan behind it): a stale plan indexes
-  // the operation tables by the old value bits, so matvec and matvec_block
-  // would silently compute with the pre-edit matrix.
-  CooMatrix coo(6, 6);
+  // mutable_values() must drop ALL precomputed plans together (the
+  // per-nonzero offset plan and the SELL-8/SELL-16 slice plans behind it):
+  // a stale plan indexes the operation tables by the old value bits, so
+  // matvec and matvec_block would silently compute with the pre-edit
+  // matrix. A 40-row matrix gives the SELL-16 plan multiple slices.
+  CooMatrix coo(40, 40);
   Rng rng("mutable_values", 0);
-  for (std::uint32_t r = 0; r < 6; ++r)
-    for (std::uint32_t c = 0; c < 6; ++c)
-      if (r == c || rng.uniform() < 0.4) coo.add(r, c, rng.normal());
+  for (std::uint32_t r = 0; r < 40; ++r)
+    for (std::uint32_t c = 0; c < 40; ++c)
+      if (r == c || rng.uniform() < 0.08) coo.add(r, c, rng.normal());
   auto a = CsrMatrix<double>::from_coo(coo).convert<Posit8>();
   ASSERT_TRUE(a.has_spmv_plan());
 
   std::vector<Posit8> x;
   for (std::size_t i = 0; i < a.cols(); ++i)
     x.push_back(NumTraits<Posit8>::from_double(rng.normal()));
-  const std::size_t k = 9;  // SIMD full chunk + scalar tail in matvec_block
+  const std::size_t k = 17;  // AVX-512 16-chunk + tail in matvec_block
   std::vector<Posit8> xb;
   for (std::size_t i = 0; i < k * a.cols(); ++i)
     xb.push_back(NumTraits<Posit8>::from_double(rng.normal()));
@@ -166,8 +167,8 @@ TEST(Csr, MutableValuesInvalidatesPlannedPaths) {
   for (std::size_t i = 0; i < yb.size(); ++i)
     ASSERT_EQ(ScalarCodec<Posit8>::to_bits(yb[i]), ScalarCodec<Posit8>::to_bits(wantb[i]));
 
-  // Rebuilding restores the planned paths (including SELL-8 when the SIMD
-  // tier is compiled in) with bit-identical results.
+  // Rebuilding restores the planned paths (including the SELL plans when
+  // the SIMD tiers are compiled in) with bit-identical results.
   a.rebuild_spmv_plan();
   EXPECT_TRUE(a.has_spmv_plan());
   std::vector<Posit8> y2(a.rows()), yb2(k * a.rows());
