@@ -27,6 +27,9 @@ void MultiSink::on_run(const RunEvent& e) {
 void MultiSink::on_reference(const ReferenceEvent& e) {
   for (const auto& s : sinks_) s->on_reference(e);
 }
+void MultiSink::on_fault(const FaultEvent& e) {
+  for (const auto& s : sinks_) s->on_fault(e);
+}
 void MultiSink::on_done(const SweepResult& r) {
   for (const auto& s : sinks_) s->on_done(r);
 }
@@ -82,6 +85,12 @@ void MemorySink::on_reference(const ReferenceEvent& e) {
   references_.push_back(e);
 }
 
+void MemorySink::on_fault(const FaultEvent& e) {
+  std::lock_guard<std::mutex> lk(mtx_);
+  order_.push_back(EventKind::fault);
+  faults_.push_back(e);
+}
+
 void MemorySink::on_done(const SweepResult& r) {
   std::lock_guard<std::mutex> lk(mtx_);
   order_.push_back(EventKind::done);
@@ -108,6 +117,10 @@ std::vector<RunEvent> MemorySink::runs() const {
 std::vector<ReferenceEvent> MemorySink::references() const {
   std::lock_guard<std::mutex> lk(mtx_);
   return references_;
+}
+std::vector<FaultEvent> MemorySink::faults() const {
+  std::lock_guard<std::mutex> lk(mtx_);
+  return faults_;
 }
 bool MemorySink::done() const {
   std::lock_guard<std::mutex> lk(mtx_);

@@ -3,10 +3,11 @@
 //
 // A sweep emits a typed event stream — `on_meta` once before work starts,
 // `on_run` per format run completed by this invocation, `on_reference` per
-// failed float128 reference solve, `on_done` once with the assembled
-// SweepResult. The engine serializes on_run/on_reference under one lock, so
-// sinks observe a monotonically increasing `done` count and never run
-// concurrently with themselves or each other.
+// failed float128 reference solve, `on_fault` per solver abort the engine's
+// solve guard converted into a structured failure, `on_done` once with the
+// assembled SweepResult. The engine serializes on_run/on_reference/on_fault
+// under one lock, so sinks observe a monotonically increasing `done` count
+// and never run concurrently with themselves or each other.
 //
 // Provided sinks: CsvSink (raw results CSV, byte-identical to
 // write_results_csv), JournalSink (JSONL event journal in the checkpoint
@@ -68,12 +69,26 @@ struct ReferenceEvent {
   double elapsed_seconds = 0.0;
 };
 
+/// The engine's solve guard caught a solver abort (exception) and recorded
+/// it instead of propagating. For stage "format" the structured
+/// RunOutcome::fault run still arrives through on_run right after; for
+/// stage "reference" the matrix retires through on_reference.
+struct FaultEvent {
+  std::string matrix;
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+  std::string stage;   // "format" | "reference"
+  std::string format;  // format name; empty for stage "reference"
+  std::string what;    // captured exception message
+};
+
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
   virtual void on_meta(const SweepMeta&) {}
   virtual void on_run(const RunEvent&) {}
   virtual void on_reference(const ReferenceEvent&) {}
+  virtual void on_fault(const FaultEvent&) {}
   virtual void on_done(const SweepResult&) {}
 };
 
@@ -87,6 +102,7 @@ class MultiSink final : public ResultSink {
   void on_meta(const SweepMeta& m) override;
   void on_run(const RunEvent& e) override;
   void on_reference(const ReferenceEvent& e) override;
+  void on_fault(const FaultEvent& e) override;
   void on_done(const SweepResult& r) override;
 
  private:
@@ -127,11 +143,12 @@ class JournalSink final : public ResultSink {
 /// serialization guarantee.
 class MemorySink final : public ResultSink {
  public:
-  enum class EventKind { meta, run, reference, done };
+  enum class EventKind { meta, run, reference, fault, done };
 
   void on_meta(const SweepMeta& m) override;
   void on_run(const RunEvent& e) override;
   void on_reference(const ReferenceEvent& e) override;
+  void on_fault(const FaultEvent& e) override;
   void on_done(const SweepResult& r) override;
 
   [[nodiscard]] std::vector<EventKind> order() const;
@@ -139,6 +156,7 @@ class MemorySink final : public ResultSink {
   [[nodiscard]] SweepMeta meta() const;
   [[nodiscard]] std::vector<RunEvent> runs() const;
   [[nodiscard]] std::vector<ReferenceEvent> references() const;
+  [[nodiscard]] std::vector<FaultEvent> faults() const;
   [[nodiscard]] bool done() const;
   [[nodiscard]] std::vector<MatrixResult> results() const;
 
@@ -149,6 +167,7 @@ class MemorySink final : public ResultSink {
   SweepMeta meta_;
   std::vector<RunEvent> runs_;
   std::vector<ReferenceEvent> references_;
+  std::vector<FaultEvent> faults_;
   bool done_ = false;
   std::vector<MatrixResult> results_;
 };

@@ -189,6 +189,16 @@ SweepResult Sweep::run() {
       e.elapsed_seconds = p.elapsed_seconds;
       for (const auto& s : sinks_) s->on_reference(e);
     };
+    sched.on_fault = [this](const TestMatrix& tm, const SolveFault& f) {
+      FaultEvent e;
+      e.matrix = tm.name;
+      e.n = tm.n();
+      e.nnz = tm.nnz();
+      e.stage = f.stage;
+      if (std::string(f.stage) == "format") e.format = format_info(f.format).name;
+      e.what = f.what;
+      for (const auto& s : sinks_) s->on_fault(e);
+    };
   } else {
     sched.on_run = [&executed](const TestMatrix&, const FormatRun&, const ExperimentProgress&) {
       ++executed;

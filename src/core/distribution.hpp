@@ -59,6 +59,7 @@ inline constexpr double kLogFloor = -40.0;
           ++d.n_sigma;
           break;
         case RunOutcome::no_convergence:
+        case RunOutcome::fault:  // solve-guard abort: no result, ∞ω tail
           ++d.n_omega;
           break;
         case RunOutcome::ok: {

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dense/matrix.hpp"
@@ -15,8 +17,20 @@ namespace mfla {
 ///   ok            — converged, finite errors;
 ///   no_convergence — the Arnoldi method did not converge (∞ω);
 ///   range_exceeded — matrix entries fell outside the format's dynamic
-///                    range during conversion (∞σ).
-enum class RunOutcome { ok, no_convergence, range_exceeded };
+///                    range during conversion (∞σ);
+///   fault         — the solve aborted (exception, breakdown) and the
+///                   engine's solve guard recorded it as a structured
+///                   failure instead of propagating; counted with ∞ω in
+///                   the distributions.
+enum class RunOutcome { ok, no_convergence, range_exceeded, fault };
+
+/// Durability-layer I/O failure (journal, CSV, dataset files). Lets
+/// callers (mfla_experiment exit codes) distinguish "the disk said no"
+/// from usage errors and solve failures.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
 
 struct ErrorPair {
   double absolute = std::numeric_limits<double>::infinity();

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <exception>
 #include <map>
 #include <memory>
@@ -32,6 +33,7 @@
 #include "arith/quad.hpp"
 #include "core/reference_cache.hpp"
 #include "core/results_io.hpp"
+#include "support/failpoint.hpp"
 #include "support/thread_pool.hpp"
 
 namespace mfla {
@@ -145,6 +147,22 @@ struct EngineState {
     sweep.format_seconds += seconds;
   }
 
+  void count_solve_fault(bool reference) {
+    std::lock_guard<std::mutex> lk(stats_mtx);
+    if (reference)
+      ++sweep.reference_faults;
+    else
+      ++sweep.solve_faults;
+  }
+
+  /// Serialized (under the same lock as on_run/on_progress) so sinks see
+  /// fault events interleaved consistently with the run stream.
+  void notify_fault(const ScheduleOptions& sched, const TestMatrix& tm, const SolveFault& f) {
+    if (!sched.on_fault) return;
+    std::lock_guard<std::mutex> lk(progress_mtx);
+    sched.on_fault(tm, f);
+  }
+
   /// Increment the done count by `add` and, with any observer installed,
   /// snapshot the progress under the lock so callbacks see a monotonically
   /// increasing done count and are serialized with each other.
@@ -225,6 +243,7 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
       if (jc.has_meta && !(jc.meta == meta))
         throw std::runtime_error(meta_mismatch_message(jc.meta, meta));
       journal_has_meta = jc.has_meta;
+      st.sweep.journal_discarded_lines = jc.skipped_lines;
       // Entries whose matrix name is unknown, or whose recorded dimensions
       // no longer match the dataset (the matrix changed on disk since the
       // journal was written), are ignored: those runs recompute.
@@ -235,6 +254,7 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
         if (rf.n != tm.n() || rf.nnz != tm.nnz()) continue;
         st.ref_failed[it->second] = 1;
         st.ref_failures[it->second] = rf.failure;
+        ++st.sweep.journal_replayed_failures;
       }
       for (const auto& [key, jr] : jc.runs) {
         const auto mi = matrix_index.find(key.first);
@@ -244,9 +264,12 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
         if (jr.n != tm.n() || jr.nnz != tm.nnz()) continue;
         st.slots[mi->second][fi->second] = jr.run;
         st.done[mi->second][fi->second] = 1;
+        ++st.sweep.journal_replayed_runs;
       }
     }
     st.journal = std::make_unique<JournalWriter>(sched.checkpoint_path, /*truncate=*/!sched.resume);
+    st.sweep.journal_truncated_bytes =
+        static_cast<std::size_t>(st.journal->truncated_bytes());
     // Also (re)write the meta when resuming a journal whose meta line was
     // torn by a crash during the very first write — otherwise the journal
     // would never regain one and later resumes would skip validation.
@@ -293,10 +316,29 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
             cache_hit = sched.ref_cache->load(key, *fresh);
           }
           if (!cache_hit) {
-            TieredReference tr = compute_reference_tiered(tm, cfg, *start);
-            *fresh = std::move(tr.solution);
-            tier = std::move(tr.tier);
-            if (sched.ref_cache != nullptr) sched.ref_cache->store(key, *fresh);
+            // Solve guard: a reference solve that *aborts* (exception —
+            // breakdown, bad_alloc, injected fault) retires its matrix as a
+            // recorded reference failure instead of killing the sweep.
+            // Unlike genuine non-convergence the aborted result is NOT
+            // cached: the abort may be transient (memory pressure, a fault
+            // injection) and must not poison warm reruns.
+            try {
+              if (int err = MFLA_FAILPOINT("engine.reference"); err != 0)
+                throw std::runtime_error(std::string("injected reference error: ") +
+                                         std::strerror(err));
+              TieredReference tr = compute_reference_tiered(tm, cfg, *start);
+              *fresh = std::move(tr.solution);
+              tier = std::move(tr.tier);
+              if (sched.ref_cache != nullptr) sched.ref_cache->store(key, *fresh);
+            } catch (const std::exception& e) {
+              *fresh = ReferenceSolution{};
+              fresh->failure = std::string("reference solve aborted: ") + e.what();
+              st.count_solve_fault(/*reference=*/true);
+              SolveFault fault;
+              fault.stage = "reference";
+              fault.what = e.what();
+              st.notify_fault(sched, tm, fault);
+            }
           }
           const double seconds =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - rt0).count();
@@ -314,7 +356,31 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
         for (const std::size_t j : pending[i]) {
           pool.submit([&st, &dataset, &formats, &cfg, &sched, start, ref, i, j] {
             const TestMatrix& tmj = dataset[i];
-            st.slots[i][j] = run_format_dynamic(tmj, *ref, cfg, *start, formats[j]);
+            // Solve guard: a format run that aborts (NaN/Inf-driven solver
+            // exception, bad_alloc, injected fault) becomes a journaled
+            // RunOutcome::fault row — one lost data point, not a lost sweep.
+            const auto ft0 = std::chrono::steady_clock::now();
+            FormatRun run;
+            try {
+              if (int err = MFLA_FAILPOINT("engine.format_run"); err != 0)
+                throw std::runtime_error(std::string("injected format-run error: ") +
+                                         std::strerror(err));
+              run = run_format_dynamic(tmj, *ref, cfg, *start, formats[j]);
+            } catch (const std::exception& e) {
+              run = FormatRun{};
+              run.format = formats[j];
+              run.outcome = RunOutcome::fault;
+              run.failure = std::string("solve aborted: ") + e.what();
+              run.duration_seconds =
+                  std::chrono::duration<double>(std::chrono::steady_clock::now() - ft0)
+                      .count();
+              st.count_solve_fault(/*reference=*/false);
+              SolveFault fault;
+              fault.format = formats[j];
+              fault.what = e.what();
+              st.notify_fault(sched, tmj, fault);
+            }
+            st.slots[i][j] = std::move(run);
             st.count_format(st.slots[i][j].duration_seconds);
             if (st.journal) st.journal->write_run(tmj.name, tmj.n(), tmj.nnz(), st.slots[i][j]);
             st.complete_run(sched, tmj, st.slots[i][j]);

@@ -212,6 +212,27 @@ struct SweepStats {
   std::size_t reference_promotions = 0;    // dd rejections re-solved in f128
   double reference_dd_seconds = 0.0;       // wall-clock of dd solves + certification
   double reference_f128_seconds = 0.0;     // wall-clock of float128 solves
+  // Durability telemetry (docs/ROBUSTNESS.md). Journal recovery: what a
+  // --resume adopted from (and discarded out of) the checkpoint file.
+  std::size_t journal_replayed_runs = 0;      // runs adopted from the journal
+  std::size_t journal_replayed_failures = 0;  // reference failures adopted
+  std::size_t journal_discarded_lines = 0;    // torn/unknown lines skipped
+  std::size_t journal_truncated_bytes = 0;    // torn tail physically removed
+  // Solve guard: (matrix, format) runs whose solver aborted (exception)
+  // and were recorded as RunOutcome::fault instead of killing the sweep,
+  // plus reference solves whose abort was recorded as a reference failure.
+  std::size_t solve_faults = 0;
+  std::size_t reference_faults = 0;
+};
+
+/// What the solve guard caught for one (matrix, format) run or one
+/// reference solve, delivered through ScheduleOptions::on_fault.
+struct SolveFault {
+  /// "format" (a per-format run; `format` is valid) or "reference" (the
+  /// shared reference solve; `format` is meaningless).
+  const char* stage = "format";
+  FormatId format = FormatId::float64;
+  std::string what;  // the captured exception message
 };
 
 /// Engine knobs, orthogonal to the numerical ExperimentConfig.
@@ -244,6 +265,12 @@ struct ScheduleOptions {
   /// format runs as done.
   std::function<void(const TestMatrix&, const std::string& failure, const ExperimentProgress&)>
       on_reference_failure;
+  /// Invoked (serialized, like on_run) when the solve guard converts a
+  /// solver abort into a structured failure. For stage "format" the
+  /// corresponding RunOutcome::fault run is still delivered through on_run
+  /// right after; for stage "reference" the matrix retires through
+  /// on_reference_failure.
+  std::function<void(const TestMatrix&, const SolveFault&)> on_fault;
 };
 
 /// Evaluate a whole dataset on the task-parallel engine.

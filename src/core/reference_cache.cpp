@@ -1,7 +1,10 @@
 #include "core/reference_cache.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -9,9 +12,20 @@
 #include <thread>
 #include <utility>
 
+#include "support/failpoint.hpp"
+
 namespace mfla {
 
 namespace {
+
+// Store retry policy: transient I/O errors (NFS rename hiccups, brief
+// ENOSPC) get kRetries extra attempts with short sleeps in between; after
+// kDegradeAfter *consecutive* abandoned stores the cache stops trying
+// altogether (degraded mode) so a full disk costs a few failed writes, not
+// one per matrix.
+constexpr int kStoreAttempts = 3;
+constexpr int kRetryBackoffMs[] = {1, 5};
+constexpr std::uint64_t kDegradeAfter = 3;
 
 // Entry layout version. Bump whenever the payload encoding or the key
 // derivation changes incompatibly; old entries are then rejected (with a
@@ -127,10 +141,20 @@ Hash128 reference_cache_key(const CsrMatrix<double>& matrix, const ExperimentCon
 ReferenceCache::ReferenceCache(std::string directory) : dir_(std::move(directory)) {
   if (dir_.empty()) throw std::runtime_error("reference cache: empty directory path");
   std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
-  if (ec && !std::filesystem::is_directory(dir_))
-    throw std::runtime_error("reference cache: cannot create directory '" + dir_ +
-                             "': " + ec.message());
+  if (int err = MFLA_FAILPOINT("refcache.open"); err != 0)
+    ec = std::error_code(err, std::generic_category());
+  else
+    std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_)) {
+    // An unusable cache location must never kill a sweep: degrade to a
+    // no-op cache (all misses, no stores) and say so once.
+    degraded_.store(true, std::memory_order_relaxed);
+    warned_degraded_.store(true, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "warning: reference cache: cannot create directory '%s' (%s); continuing "
+                 "without a cache — every reference will be recomputed\n",
+                 dir_.c_str(), ec.message().c_str());
+  }
 }
 
 std::string ReferenceCache::entry_path(const Hash128& key) const {
@@ -140,6 +164,20 @@ std::string ReferenceCache::entry_path(const Hash128& key) const {
 bool ReferenceCache::load(const Hash128& key, ReferenceSolution& ref) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
   const std::string path = entry_path(key);
+
+  // Rejected entries are quarantined: renamed aside to `<entry>.bad` so
+  // the corrupt bytes stay available for a post-mortem but are never read
+  // (or warned about) again. Best-effort — a concurrent store may have
+  // just replaced the entry with a fresh one, in which case the rename
+  // quarantines that copy and the producer simply stores once more.
+  const auto reject = [&](const char* why) {
+    warn(path, why);
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".bad", ec);
+    if (!ec) quarantined_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  };
 
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
@@ -152,18 +190,9 @@ bool ReferenceCache::load(const Hash128& key, ReferenceSolution& ref) {
   std::string blob(size > 0 ? static_cast<std::size_t>(size) : 0, '\0');
   in.seekg(0);
   if (!blob.empty()) in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
-  if (!in) {
-    warn(path, "cannot be read");
-    rejects_.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
+  if (MFLA_FAILPOINT("refcache.load.read") != 0) in.setstate(std::ios::failbit);
+  if (!in) return reject("cannot be read");
   in.close();
-
-  const auto reject = [&](const char* why) {
-    warn(path, why);
-    rejects_.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  };
 
   // Header: magic(8) version(4) key(16) payload_size(8); then payload and
   // a trailing 16-byte checksum.
@@ -242,35 +271,80 @@ void ReferenceCache::store(const Hash128& key, const ReferenceSolution& ref) {
   put_u64(blob, sum.lo);
   put_u64(blob, sum.hi);
 
+  // A cache that already proved unwritable stops trying (degraded mode):
+  // a full disk costs a handful of failed stores, not one per matrix.
+  if (degraded_.load(std::memory_order_relaxed)) return;
+
   // Unique temp name per producer, then atomic rename: concurrent stores of
   // the same key race harmlessly (identical content) and readers never see
-  // a partial entry.
-  const std::uint64_t serial = tmp_counter_.fetch_add(1, std::memory_order_relaxed);
-  const std::string tmp =
-      dir_ + "/.tmp-" + key.hex() + "-" + std::to_string(serial) + "-" +
-      std::to_string(static_cast<std::uint64_t>(
-          std::hash<std::thread::id>{}(std::this_thread::get_id())));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (out) out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    // Flush before the rename: a deferred destructor flush could fail
-    // silently (disk full) and publish a truncated entry.
-    if (out) out.flush();
-    if (!out) {
-      std::fprintf(stderr, "warning: reference cache: cannot write '%s'\n", tmp.c_str());
-      std::remove(tmp.c_str());
-      return;
+  // a partial entry. Transient I/O errors get a few retries with bounded
+  // backoff; a store abandoned after that is counted, warned about once,
+  // and leaves no orphaned temp file behind.
+  std::string last_error;
+  for (int attempt = 0; attempt < kStoreAttempts; ++attempt) {
+    if (attempt > 0) {
+      store_retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kRetryBackoffMs[std::min(attempt - 1, 1)]));
     }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, entry_path(key), ec);
-  if (ec) {
-    std::fprintf(stderr, "warning: reference cache: cannot publish '%s': %s\n",
-                 entry_path(key).c_str(), ec.message().c_str());
-    std::remove(tmp.c_str());
+    const std::uint64_t serial = tmp_counter_.fetch_add(1, std::memory_order_relaxed);
+    const std::string tmp =
+        dir_ + "/.tmp-" + key.hex() + "-" + std::to_string(serial) + "-" +
+        std::to_string(static_cast<std::uint64_t>(
+            std::hash<std::thread::id>{}(std::this_thread::get_id())));
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (int err = MFLA_FAILPOINT("refcache.store.open"); err != 0 && out) {
+        out.setstate(std::ios::failbit);
+        last_error = std::strerror(err);
+      }
+      if (out) out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+      if (int err = MFLA_FAILPOINT("refcache.store.write"); err != 0 && out) {
+        out.setstate(std::ios::badbit);
+        last_error = std::strerror(err);
+      }
+      // Flush before the rename: a deferred destructor flush could fail
+      // silently (disk full) and publish a truncated entry.
+      if (out) out.flush();
+      if (!out) {
+        if (last_error.empty()) last_error = "cannot write '" + tmp + "'";
+        std::remove(tmp.c_str());
+        continue;
+      }
+    }
+    std::error_code ec;
+    if (int err = MFLA_FAILPOINT("refcache.store.rename"); err != 0)
+      ec = std::error_code(err, std::generic_category());
+    else
+      std::filesystem::rename(tmp, entry_path(key), ec);
+    if (ec) {
+      last_error = "cannot publish '" + entry_path(key) + "': " + ec.message();
+      std::remove(tmp.c_str());
+      continue;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    consecutive_store_failures_.store(0, std::memory_order_relaxed);
     return;
   }
-  stores_.fetch_add(1, std::memory_order_relaxed);
+  note_store_failure(last_error);
+}
+
+void ReferenceCache::note_store_failure(const std::string& what) {
+  store_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (!warned_store_.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "warning: reference cache: store failed after %d attempts (%s); results are "
+                 "unaffected, the reference was kept in memory\n",
+                 kStoreAttempts, what.c_str());
+  const std::uint64_t consecutive =
+      consecutive_store_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (consecutive >= kDegradeAfter && !degraded_.exchange(true, std::memory_order_relaxed) &&
+      !warned_degraded_.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "warning: reference cache: %llu consecutive store failures (disk full or "
+                 "directory unwritable?); degrading to recompute-only for the rest of the "
+                 "sweep\n",
+                 static_cast<unsigned long long>(consecutive));
 }
 
 RefCacheStats ReferenceCache::stats() const noexcept {
@@ -280,6 +354,10 @@ RefCacheStats ReferenceCache::stats() const noexcept {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.rejects = rejects_.load(std::memory_order_relaxed);
   s.stores = stores_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.store_retries = store_retries_.load(std::memory_order_relaxed);
+  s.store_failures = store_failures_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -14,10 +14,13 @@
 // binary payload carrying the exact double bit patterns of the eigenvalues
 // and Schur vectors (plus the ok flag and failure string), and a 128-bit
 // payload checksum. Loads are strict: wrong magic, version, key, size or
-// checksum rejects the entry with a warning and the caller recomputes (and
-// overwrites the bad entry). Stores write to a temporary file and rename,
-// so concurrent producers of the same key are safe and readers never see a
-// torn entry.
+// checksum rejects the entry with a warning, quarantines it (renamed to
+// `.bad`) and the caller recomputes. Stores write to a temporary file and
+// rename, so concurrent producers of the same key are safe and readers
+// never see a torn entry; store I/O failures retry with bounded backoff
+// and then degrade (recompute-only) rather than ever failing a sweep.
+// Fault injection for all of this lives behind the `refcache.*`
+// failpoints (docs/ROBUSTNESS.md).
 #pragma once
 
 #include <atomic>
@@ -32,11 +35,15 @@ namespace mfla {
 
 /// Counters for one ReferenceCache instance (monotone over its lifetime).
 struct RefCacheStats {
-  std::uint64_t lookups = 0;  // load() calls
-  std::uint64_t hits = 0;     // valid entries returned
-  std::uint64_t misses = 0;   // entry absent
-  std::uint64_t rejects = 0;  // entry present but failed validation
-  std::uint64_t stores = 0;   // entries written
+  std::uint64_t lookups = 0;      // load() calls
+  std::uint64_t hits = 0;         // valid entries returned
+  std::uint64_t misses = 0;       // entry absent
+  std::uint64_t rejects = 0;      // entry present but failed validation
+  std::uint64_t stores = 0;       // entries written
+  std::uint64_t quarantined = 0;  // rejected entries renamed aside to .bad
+  std::uint64_t store_retries = 0;   // extra store attempts after transient I/O errors
+  std::uint64_t store_failures = 0;  // stores abandoned after exhausting retries
+  bool degraded = false;  // cache stopped persisting (dir unwritable / disk full)
 };
 
 /// Cache key: hash of the matrix bits (structure + values), the reference
@@ -49,33 +56,53 @@ struct RefCacheStats {
 
 class ReferenceCache {
  public:
-  /// Opens (creating if needed) the cache directory. Throws
-  /// std::runtime_error if the directory cannot be created.
+  /// Opens (creating if needed) the cache directory. An uncreatable
+  /// directory does NOT throw: the cache warns once and degrades to a
+  /// no-op (every load misses, every store is skipped) — a sweep must
+  /// never fail because its cache is unusable. Only an empty path (a
+  /// programming error) throws std::runtime_error.
   explicit ReferenceCache(std::string directory);
 
   /// Look up `key`; on a valid hit fills `ref` with the exact stored
   /// solution (bit-identical doubles) and returns true. A corrupted,
   /// truncated or version-mismatched entry warns on stderr, counts as a
-  /// reject and returns false — the caller recomputes and store()
-  /// overwrites the bad entry.
+  /// reject, is quarantined (renamed to `<entry>.bad` so the corruption
+  /// is kept for inspection but never re-read) and returns false — the
+  /// caller recomputes and store() writes a fresh entry.
   [[nodiscard]] bool load(const Hash128& key, ReferenceSolution& ref);
 
-  /// Persist `ref` under `key` (temp file + atomic rename). I/O failures
-  /// warn on stderr and are otherwise ignored: a sweep never fails because
-  /// its cache is unwritable.
+  /// Persist `ref` under `key` (temp file + atomic rename). Transient I/O
+  /// failures (disk full, rename refused) are retried a few times with
+  /// bounded backoff; a store that still fails warns once, is counted in
+  /// stats, and removes its orphaned temp file. After several consecutive
+  /// failed stores the cache degrades to recompute-only and stops trying.
+  /// Store failures never propagate: a sweep never fails because its
+  /// cache is unwritable.
   void store(const Hash128& key, const ReferenceSolution& ref);
 
   [[nodiscard]] RefCacheStats stats() const noexcept;
   [[nodiscard]] const std::string& directory() const noexcept { return dir_; }
   [[nodiscard]] std::string entry_path(const Hash128& key) const;
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
 
  private:
+  void note_store_failure(const std::string& what);
+
   std::string dir_;
   std::atomic<std::uint64_t> lookups_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> rejects_{0};
   std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> store_retries_{0};
+  std::atomic<std::uint64_t> store_failures_{0};
+  std::atomic<std::uint64_t> consecutive_store_failures_{0};
+  std::atomic<bool> degraded_{false};
+  std::atomic<bool> warned_store_{false};
+  std::atomic<bool> warned_degraded_{false};
   std::atomic<std::uint64_t> tmp_counter_{0};
 };
 

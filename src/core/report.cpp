@@ -8,9 +8,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/failpoint.hpp"
+
 namespace mfla {
 
 void ensure_directory(const std::string& path) {
+  // Injected mkdir failure: skip the mkdir calls entirely so the caller's
+  // subsequent open fails exactly as it would on a read-only filesystem.
+  if (MFLA_FAILPOINT("checkpoint.dir") != 0) return;
   std::string partial;
   for (std::size_t i = 0; i <= path.size(); ++i) {
     if (i == path.size() || path[i] == '/') {

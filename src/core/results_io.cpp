@@ -4,12 +4,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/report.hpp"
+#include "support/failpoint.hpp"
 
 namespace mfla {
 
@@ -18,6 +21,7 @@ const char* outcome_name(RunOutcome o) noexcept {
     case RunOutcome::ok: return "ok";
     case RunOutcome::no_convergence: return "omega";
     case RunOutcome::range_exceeded: return "sigma";
+    case RunOutcome::fault: return "fault";
   }
   return "unknown";
 }
@@ -26,6 +30,7 @@ RunOutcome outcome_from_name(const std::string& s) {
   if (s == "ok") return RunOutcome::ok;
   if (s == "omega") return RunOutcome::no_convergence;
   if (s == "sigma") return RunOutcome::range_exceeded;
+  if (s == "fault") return RunOutcome::fault;
   throw std::invalid_argument("unknown outcome '" + s + "'");
 }
 
@@ -44,6 +49,9 @@ std::vector<std::string> split_csv(const std::string& line) {
 void write_results_csv(const std::string& path, const std::vector<MatrixResult>& results) {
   ensure_parent_directory(path);
   std::ofstream out(path);
+  if (int err = MFLA_FAILPOINT("csv.write"); err != 0)
+    throw IoError("results csv: cannot write '" + path + "': " + std::strerror(err));
+  if (!out) throw IoError("results csv: cannot open '" + path + "' for writing");
   out.precision(17);
   out << "matrix,class,category,n,nnz,format,outcome,eig_abs,eig_rel,vec_abs,vec_rel,"
          "similarity,nconv,restarts,matvecs\n";
@@ -62,11 +70,15 @@ void write_results_csv(const std::string& path, const std::vector<MatrixResult>&
           << run.matvecs << '\n';
     }
   }
+  out.flush();
+  // Losing the raw CSV to a full disk must be loud — it is the product of
+  // the whole sweep.
+  if (!out) throw IoError("results csv: write to '" + path + "' failed (disk full?)");
 }
 
 std::vector<MatrixResult> read_results_csv(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("results csv: cannot open '" + path + "'");
+  if (!in) throw IoError("results csv: cannot open '" + path + "'");
   std::string line;
   if (!std::getline(in, line)) throw std::runtime_error("results csv: empty file");
   std::map<std::string, std::size_t> index;
@@ -324,30 +336,51 @@ JournalMeta make_journal_meta(const ExperimentConfig& cfg, const std::vector<For
 
 JournalWriter::JournalWriter(const std::string& path, bool truncate) {
   ensure_parent_directory(path);
-  // A sweep killed mid-write can leave a torn final line without a newline;
-  // terminate it before appending so the next record starts on its own line
-  // (the reader skips the torn fragment).
-  bool needs_newline = false;
+  // A sweep killed mid-write can leave trailing garbage — at worst one torn
+  // final line without a newline. Before appending, physically truncate the
+  // file back to its last complete line so the next record never glues onto
+  // a torn fragment and the garbage is gone for good (not just skipped on
+  // every future read).
   if (!truncate) {
-    std::ifstream probe(path, std::ios::binary | std::ios::ate);
-    if (probe && probe.tellg() > std::ifstream::pos_type(0)) {
-      probe.seekg(-1, std::ios::end);
-      needs_newline = probe.get() != '\n';
+    std::ifstream probe(path, std::ios::binary);
+    if (probe) {
+      std::uint64_t pos = 0, keep = 0;  // keep = end of last complete line
+      char buf[4096];
+      while (probe.read(buf, sizeof buf) || probe.gcount() > 0) {
+        const std::streamsize got = probe.gcount();
+        for (std::streamsize i = 0; i < got; ++i)
+          if (buf[i] == '\n') keep = pos + static_cast<std::uint64_t>(i) + 1;
+        pos += static_cast<std::uint64_t>(got);
+        if (got < static_cast<std::streamsize>(sizeof buf)) break;
+      }
+      probe.close();
+      if (keep < pos) {
+        truncated_bytes_ = pos - keep;
+        std::error_code ec;
+        std::filesystem::resize_file(path, keep, ec);
+        if (ec)
+          throw IoError("journal: cannot truncate torn tail of '" + path +
+                        "': " + ec.message());
+      }
     }
   }
+  if (int err = MFLA_FAILPOINT("journal.open"); err != 0)
+    throw IoError("journal: cannot open '" + path + "': " + std::strerror(err));
   const auto mode = truncate ? std::ios::out | std::ios::trunc : std::ios::out | std::ios::app;
   out_.open(path, mode);
-  if (!out_) throw std::runtime_error("journal: cannot open '" + path + "' for writing");
-  if (needs_newline) out_ << '\n';
+  if (!out_) throw IoError("journal: cannot open '" + path + "' for writing");
 }
 
 void JournalWriter::append_line(const std::string& line) {
   std::lock_guard<std::mutex> lk(mtx_);
+  if (int err = MFLA_FAILPOINT("journal.append"); err != 0)
+    throw IoError(std::string("journal: write failed: ") + std::strerror(err));
   out_ << line << '\n';
+  if (MFLA_FAILPOINT("journal.flush") != 0) out_.setstate(std::ios::failbit);
   out_.flush();
   // Surface write failures (e.g. disk full) instead of silently dropping
   // checkpoint records — the engine propagates this out of run_experiment.
-  if (!out_) throw std::runtime_error("journal: write failed (disk full or file removed?)");
+  if (!out_) throw IoError("journal: write failed (disk full or file removed?)");
 }
 
 void JournalWriter::write_meta(const JournalMeta& meta) {

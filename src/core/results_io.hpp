@@ -65,11 +65,14 @@ struct JournalMeta {
                                             std::size_t matrix_count);
 
 /// Append-only journal writer. Thread-safe; every line is flushed so a
-/// killed process loses at most the line being written.
+/// killed process loses at most the line being written. Write failures
+/// (disk full, file removed) throw IoError — checkpoints must never be
+/// lost silently.
 class JournalWriter {
  public:
   /// Opens `path` (creating parent directories). With truncate=false the
-  /// file is opened for append (healing a torn final line first).
+  /// file is opened for append, first physically truncating any torn
+  /// trailing garbage back to the last complete line.
   JournalWriter(const std::string& path, bool truncate);
 
   void write_meta(const JournalMeta& meta);
@@ -78,11 +81,15 @@ class JournalWriter {
   void write_run(const std::string& matrix, std::size_t n, std::size_t nnz,
                  const FormatRun& run);
 
+  /// Bytes of torn trailing garbage discarded when opening for append.
+  [[nodiscard]] std::uint64_t truncated_bytes() const { return truncated_bytes_; }
+
  private:
   void append_line(const std::string& line);
 
   std::ofstream out_;
   std::mutex mtx_;
+  std::uint64_t truncated_bytes_ = 0;
 };
 
 /// A journaled per-format run, stamped with the matrix dimensions so a

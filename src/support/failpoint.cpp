@@ -1,0 +1,314 @@
+#include "support/failpoint.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#ifdef _WIN32
+#include <process.h>
+#define MFLA_FAILPOINT_EXIT ::_exit
+#else
+#include <unistd.h>
+#define MFLA_FAILPOINT_EXIT ::_exit
+#endif
+
+namespace mfla::failpoint {
+
+namespace detail {
+std::atomic<std::uint32_t> armed_count{0};
+}  // namespace detail
+
+namespace {
+
+struct Entry {
+  Config cfg;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  std::uint64_t rng = 0;  // xorshift64 state for @p triggers
+};
+
+struct Registry {
+  std::mutex mtx;
+  std::unordered_map<std::string, Entry> entries;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+Registry& registry() {
+  static Registry r;  // magic static: safe from static initializers
+  return r;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+double next_uniform(Entry& e) {
+  // xorshift64: deterministic per-entry stream, no global RNG coupling.
+  std::uint64_t x = e.rng;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  e.rng = x;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void bad_spec(const std::string& clause, const char* why) {
+  throw std::invalid_argument("failpoint spec \"" + clause + "\": " + why);
+}
+
+int parse_errno_name(const std::string& clause, std::string arg) {
+  for (char& c : arg) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (arg.empty()) bad_spec(clause, "empty error() argument");
+  if (std::isdigit(static_cast<unsigned char>(arg[0]))) {
+    char* end = nullptr;
+    long v = std::strtol(arg.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v <= 0 || v > 4096)
+      bad_spec(clause, "error() wants a positive errno");
+    return static_cast<int>(v);
+  }
+  // The handful of errnos the durability seams care about, by POSIX name.
+  if (arg == "eio") return 5;
+  if (arg == "enoent") return 2;
+  if (arg == "eacces") return 13;
+  if (arg == "emfile") return 24;
+  if (arg == "enospc") return 28;
+  if (arg == "erofs") return 30;
+  if (arg == "edquot") return 122;
+  bad_spec(clause, "unknown errno name in error()");
+}
+
+// "action[@trigger]" → Config. Grammar documented in failpoint.hpp.
+Config parse_action(const std::string& clause, const std::string& text) {
+  Config cfg;
+  std::string action = text;
+  std::string trigger;
+  if (std::size_t at = text.find('@'); at != std::string::npos) {
+    action = trim(text.substr(0, at));
+    trigger = trim(text.substr(at + 1));
+  }
+
+  std::string arg;
+  if (std::size_t paren = action.find('('); paren != std::string::npos) {
+    if (action.back() != ')') bad_spec(clause, "unterminated '('");
+    arg = trim(action.substr(paren + 1, action.size() - paren - 2));
+    action = trim(action.substr(0, paren));
+  }
+
+  if (action == "error") {
+    cfg.action = Action::error;
+    if (!arg.empty()) cfg.error_code = parse_errno_name(clause, arg);
+  } else if (action == "throw") {
+    cfg.action = Action::throw_exception;
+    if (!arg.empty()) bad_spec(clause, "throw takes no argument");
+  } else if (action == "delay") {
+    cfg.action = Action::delay;
+    if (arg.empty()) bad_spec(clause, "delay wants milliseconds, e.g. delay(50)");
+    char* end = nullptr;
+    long ms = std::strtol(arg.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || ms < 0 || ms > 60'000)
+      bad_spec(clause, "delay(ms) wants 0..60000");
+    cfg.delay_ms = static_cast<int>(ms);
+  } else if (action == "crash") {
+    cfg.action = Action::crash;
+    if (!arg.empty()) bad_spec(clause, "crash takes no argument");
+  } else if (action == "off") {
+    cfg.action = Action::off;
+  } else {
+    bad_spec(clause, "unknown action (want error/throw/delay/crash/off)");
+  }
+
+  if (!trigger.empty()) {
+    if (trigger[0] == 'p' || trigger[0] == 'P') {
+      char* end = nullptr;
+      double p = std::strtod(trigger.c_str() + 1, &end);
+      if (end == nullptr || *end != '\0' || !(p >= 0.0) || p > 1.0)
+        bad_spec(clause, "@p wants a probability in [0,1]");
+      cfg.probability = p;
+    } else {
+      char* end = nullptr;
+      unsigned long long from = std::strtoull(trigger.c_str(), &end, 10);
+      if (end == trigger.c_str() || from == 0)
+        bad_spec(clause, "@trigger wants N, N+M, or pP with 1-based N");
+      cfg.from_hit = from;
+      if (*end == '+') {
+        char* end2 = nullptr;
+        unsigned long long count = std::strtoull(end + 1, &end2, 10);
+        if (end2 == end + 1 || *end2 != '\0' || count == 0)
+          bad_spec(clause, "@N+M wants a positive fire count M");
+        cfg.fire_count = count;
+      } else if (*end != '\0') {
+        bad_spec(clause, "trailing garbage after @N");
+      }
+    }
+  }
+  return cfg;
+}
+
+void arm_locked(Registry& r, const std::string& name, const Config& cfg) {
+  auto [it, inserted] = r.entries.try_emplace(name);
+  const bool was_armed = !inserted && it->second.cfg.action != Action::off;
+  it->second.cfg = cfg;
+  it->second.hits = 0;
+  it->second.fires = 0;
+  it->second.rng = r.seed ^ fnv1a(name);
+  if (it->second.rng == 0) it->second.rng = 1;
+  const bool now_armed = cfg.action != Action::off;
+  if (now_armed && !was_armed)
+    detail::armed_count.fetch_add(1, std::memory_order_relaxed);
+  else if (!now_armed && was_armed)
+    detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// Parse MFLA_FAILPOINTS once at program start so seams fire without any
+// code having to opt in. Lives here (not in a header) so the object file —
+// pulled in by every seam's call to evaluate() — carries the initializer.
+[[maybe_unused]] const bool g_env_armed_at_startup = [] {
+  arm_from_env();
+  return true;
+}();
+
+}  // namespace
+
+int evaluate(const char* name) {
+  Action action = Action::off;
+  int error_code = 0;
+  int delay_ms = 0;
+  std::string thrown_name;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    auto it = r.entries.find(name);
+    if (it == r.entries.end() || it->second.cfg.action == Action::off) return 0;
+    Entry& e = it->second;
+    const Config& cfg = e.cfg;
+    const std::uint64_t hit = ++e.hits;
+    if (hit < cfg.from_hit) return 0;
+    if (cfg.fire_count != 0 && hit >= cfg.from_hit + cfg.fire_count) return 0;
+    if (cfg.probability < 1.0 && next_uniform(e) >= cfg.probability) return 0;
+    ++e.fires;
+    action = cfg.action;
+    error_code = cfg.error_code;
+    delay_ms = cfg.delay_ms;
+    if (action == Action::throw_exception) thrown_name = name;
+  }
+  // Act outside the lock: sleeping or unwinding with the registry mutex
+  // held would deadlock concurrent evaluate() calls.
+  switch (action) {
+    case Action::error:
+      return error_code;
+    case Action::throw_exception:
+      throw Injected(thrown_name);
+    case Action::delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return 0;
+    case Action::crash:
+      // A simulated hard kill: no stream flushes, no atexit, no unwinding.
+      MFLA_FAILPOINT_EXIT(kCrashExitCode);
+    case Action::off:
+      break;
+  }
+  return 0;
+}
+
+void arm(const std::string& name, const Config& cfg) {
+  if (name.empty()) throw std::invalid_argument("failpoint: empty name");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mtx);
+  arm_locked(r, name, cfg);
+}
+
+void disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mtx);
+  auto it = r.entries.find(name);
+  if (it == r.entries.end()) return;
+  if (it->second.cfg.action != Action::off) {
+    it->second.cfg.action = Action::off;
+    detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mtx);
+  for (auto& [name, entry] : r.entries) {
+    if (entry.cfg.action != Action::off) {
+      entry.cfg.action = Action::off;
+      detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t arm_from_spec(const std::string& spec) {
+  // Parse every clause before arming any: a malformed spec arms nothing.
+  std::vector<std::pair<std::string, Config>> parsed;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = trim(spec.substr(begin, end - begin));
+    begin = end + 1;
+    if (clause.empty()) continue;
+    std::size_t eq = clause.find('=');
+    if (eq == std::string::npos) bad_spec(clause, "missing '=' (want name=action)");
+    std::string name = trim(clause.substr(0, eq));
+    if (name.empty()) bad_spec(clause, "empty failpoint name");
+    parsed.emplace_back(std::move(name), parse_action(clause, trim(clause.substr(eq + 1))));
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mtx);
+  for (const auto& [name, cfg] : parsed) arm_locked(r, name, cfg);
+  return parsed.size();
+}
+
+void arm_from_env() {
+  const char* spec = std::getenv("MFLA_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return;
+  try {
+    arm_from_spec(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mfla: warning: ignoring MFLA_FAILPOINTS: %s\n", e.what());
+  }
+}
+
+void set_seed(std::uint64_t seed) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mtx);
+  r.seed = seed != 0 ? seed : 0x9e3779b97f4a7c15ull;
+}
+
+Stats stats(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mtx);
+  auto it = r.entries.find(name);
+  if (it == r.entries.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+std::vector<std::string> armed_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mtx);
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : r.entries)
+    if (entry.cfg.action != Action::off) out.push_back(name);
+  return out;
+}
+
+}  // namespace mfla::failpoint

@@ -1,0 +1,131 @@
+#pragma once
+// Named failpoints for fault injection (docs/ROBUSTNESS.md).
+//
+// Durability seams (cache I/O, journal writes, CSV emission, directory
+// creation, the per-run solve guard) each carry a named failpoint:
+//
+//   if (int err = MFLA_FAILPOINT("refcache.store.write")) { /* fail as errno err */ }
+//
+// Unarmed, the macro is a single relaxed atomic load and a branch — cheap
+// enough to live on hot paths (bench_failpoint_overhead pins this), so the
+// checks are compiled into every build and CI can torture Release binaries.
+//
+// Armed via the MFLA_FAILPOINTS environment variable or the programmatic
+// API, a failpoint performs one of four actions each time it fires:
+//
+//   error        return a nonzero errno from MFLA_FAILPOINT (default EIO);
+//   error(28)    ... a specific errno, numeric or named (enospc, eacces, ...)
+//   throw        throw mfla::failpoint::Injected (a std::runtime_error)
+//   delay(50)    sleep the given milliseconds, then return 0 (race widener)
+//   crash        _exit(kCrashExitCode) immediately: no unwinding, no flushes,
+//                simulating a hard kill mid-write
+//
+// Triggers select which hits fire:
+//
+//   name=error             every hit
+//   name=crash@7           hit 7 and every later hit
+//   name=error(28)@3+2     hits 3 and 4 only (fire twice starting at hit 3)
+//   name=throw@p0.25       each hit independently with probability 0.25
+//                          (deterministic per-failpoint xorshift stream)
+//
+// Multiple specs are separated by ';' or ','. Example:
+//
+//   MFLA_FAILPOINTS='journal.append=crash@12;refcache.store.write=error(enospc)@1+2'
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mfla::failpoint {
+
+// Exit status used by the `crash` action; mfla_crashtest keys off "nonzero".
+inline constexpr int kCrashExitCode = 86;
+
+enum class Action { off, error, throw_exception, delay, crash };
+
+struct Config {
+  Action action = Action::off;
+  int error_code = 5;  // EIO; the value MFLA_FAILPOINT returns for `error`
+  int delay_ms = 0;
+  // Hits are 1-based. Fire on hits [from_hit, from_hit + fire_count), with
+  // fire_count == 0 meaning "unbounded".
+  std::uint64_t from_hit = 1;
+  std::uint64_t fire_count = 0;
+  // When < 1.0, each eligible hit fires independently with this probability
+  // (deterministic per-failpoint PRNG seeded from the name and set_seed()).
+  double probability = 1.0;
+};
+
+struct Stats {
+  std::uint64_t hits = 0;   // times an armed evaluate() ran for this name
+  std::uint64_t fires = 0;  // times the action actually triggered
+};
+
+// Thrown by the `throw` action; carries "failpoint <name> injected".
+struct Injected : std::runtime_error {
+  explicit Injected(const std::string& name)
+      : std::runtime_error("failpoint " + name + " injected") {}
+};
+
+namespace detail {
+// Count of currently-armed failpoints. constinit so the unarmed fast path
+// is safe during static initialization of any other TU.
+extern std::atomic<std::uint32_t> armed_count;
+}  // namespace detail
+
+// The unarmed fast path: one relaxed load. Inlined at every seam.
+inline bool any_armed() noexcept {
+  return detail::armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+// Slow path — called only while at least one failpoint is armed anywhere.
+// Looks `name` up in the registry; if armed and its trigger matches, performs
+// the action. Returns the injected errno for `error`, 0 otherwise.
+int evaluate(const char* name);
+
+// Programmatic arming (tests). Re-arming an existing name replaces its
+// config and resets its hit/fire counters.
+void arm(const std::string& name, const Config& cfg);
+void disarm(const std::string& name);
+void disarm_all();
+
+// Parse a spec string ("name=action[@trigger][;...]") and arm every clause.
+// Returns the number of failpoints armed; throws std::invalid_argument with
+// the offending clause on malformed input.
+std::size_t arm_from_spec(const std::string& spec);
+
+// Arm from the current value of MFLA_FAILPOINTS (no-op when unset). Runs
+// automatically at static-init time in any binary linking mfla; malformed
+// env specs warn on stderr rather than aborting startup. Callable again
+// after setenv() in tests.
+void arm_from_env();
+
+// Seed for @p probability triggers (applied to failpoints armed afterwards).
+void set_seed(std::uint64_t seed);
+
+Stats stats(const std::string& name);
+std::vector<std::string> armed_names();
+
+// RAII arm/disarm for tests.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, const Config& cfg) : name_(std::move(name)) {
+    arm(name_, cfg);
+  }
+  ~ScopedFailpoint() { disarm(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace mfla::failpoint
+
+// Returns 0 when unarmed or not firing; the injected errno for `error`
+// actions. `throw`/`delay`/`crash` act inside evaluate().
+#define MFLA_FAILPOINT(name) \
+  (::mfla::failpoint::any_armed() ? ::mfla::failpoint::evaluate(name) : 0)

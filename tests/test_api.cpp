@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "support/failpoint.hpp"
 
 namespace mfla {
 namespace {
@@ -276,6 +277,63 @@ TEST(SinkPipeline, ReferenceFailureEventsReachSinks) {
   // Retired runs are folded into the final done count.
   EXPECT_EQ(refs.back().done, ds.size() * api_formats().size());
   EXPECT_EQ(sweep.executed_runs, 0u);
+}
+
+TEST(SinkPipeline, SolveFaultEventsReachSinksAndRecordFaultRuns) {
+  // A solver abort (failpoint-injected here) must not kill the sweep: the
+  // run is recorded with outcome "fault", sinks get an on_fault event, and
+  // the sweep completes with the faults counted in its stats.
+  auto ds = api_dataset();
+  const auto formats = api_formats();
+  failpoint::arm_from_spec("engine.format_run=error(eio)");
+
+  auto mem = std::make_shared<api::MemorySink>();
+  const api::SweepResult sweep =
+      api::Sweep::over(ds).formats(formats).config(api_config()).threads(2).sink(mem).run();
+  failpoint::disarm_all();
+
+  const std::size_t total = ds.size() * formats.size();
+  EXPECT_EQ(sweep.stats.solve_faults, total);
+  EXPECT_EQ(sweep.stats.reference_faults, 0u);
+  const auto faults = mem->faults();
+  ASSERT_EQ(faults.size(), total);
+  for (const auto& f : faults) {
+    EXPECT_EQ(f.stage, "format");
+    EXPECT_FALSE(f.format.empty());
+    EXPECT_NE(f.what.find("injected"), std::string::npos);
+  }
+  // Every recorded run carries the fault outcome and a failure message.
+  for (const auto& mr : sweep.results) {
+    ASSERT_EQ(mr.runs.size(), formats.size());
+    for (const auto& run : mr.runs) {
+      EXPECT_EQ(run.outcome, RunOutcome::fault);
+      EXPECT_NE(run.failure.find("solve aborted"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(mem->done());
+}
+
+TEST(SinkPipeline, ReferenceFaultDegradesToReferenceFailure) {
+  auto ds = api_dataset();
+  failpoint::arm_from_spec("engine.reference=error(eio)");
+
+  auto mem = std::make_shared<api::MemorySink>();
+  const api::SweepResult sweep =
+      api::Sweep::over(ds).formats(api_formats()).config(api_config()).threads(2).sink(mem).run();
+  failpoint::disarm_all();
+
+  EXPECT_EQ(sweep.stats.reference_faults, ds.size());
+  const auto faults = mem->faults();
+  ASSERT_EQ(faults.size(), ds.size());
+  for (const auto& f : faults) EXPECT_EQ(f.stage, "reference");
+  // An aborted reference retires the matrix like a failed reference solve:
+  // no format runs execute, and the failure is announced to sinks.
+  EXPECT_TRUE(mem->runs().empty());
+  EXPECT_EQ(mem->references().size(), ds.size());
+  for (const auto& mr : sweep.results) {
+    EXPECT_FALSE(mr.reference_ok);
+    EXPECT_NE(mr.reference_failure.find("reference solve aborted"), std::string::npos);
+  }
 }
 
 // ---------------------------------------------------------------------------

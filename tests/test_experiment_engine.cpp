@@ -15,6 +15,7 @@
 #include "core/results_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/laplacian.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 
 namespace mfla {
@@ -239,6 +240,45 @@ TEST(ExperimentEngine, ReferenceFailureJournaledAndSkippedOnResume) {
   const auto resumed = run_experiment(ds, formats, cfg, resume);
   EXPECT_FALSE(progressed);  // failures were replayed, not recomputed
   EXPECT_EQ(csv_of(results, "reffail_a"), csv_of(resumed, "reffail_b"));
+  std::remove(ck.c_str());
+}
+
+TEST(ExperimentEngine, FaultRunsJournaledAndReplayedOnResume) {
+  // Solver aborts (failpoint-injected) are recorded as `fault` runs; the
+  // journal must round-trip that outcome, and a resume must replay the
+  // faulted runs instead of re-solving them.
+  const auto ds = engine_dataset();
+  const auto formats = engine_formats();
+  const ExperimentConfig cfg = engine_config();
+  const std::string ck = "test_out/engine_fault.jsonl";
+  std::remove(ck.c_str());
+
+  failpoint::arm_from_spec("engine.format_run=error(eio)");
+  SweepStats stats;
+  ScheduleOptions sched;
+  sched.threads = 2;
+  sched.checkpoint_path = ck;
+  sched.stats = &stats;
+  const auto results = run_experiment(ds, formats, cfg, sched);
+  failpoint::disarm_all();
+  EXPECT_EQ(stats.solve_faults, ds.size() * formats.size());
+  for (const auto& r : results)
+    for (const auto& run : r.runs) EXPECT_EQ(run.outcome, RunOutcome::fault);
+
+  const JournalContents jc = read_journal(ck);
+  ASSERT_EQ(jc.runs.size(), ds.size() * formats.size());
+  for (const auto& [key, jr] : jc.runs) EXPECT_EQ(jr.run.outcome, RunOutcome::fault);
+
+  SweepStats resume_stats;
+  ScheduleOptions resume = sched;
+  resume.resume = true;
+  resume.stats = &resume_stats;
+  bool progressed = false;
+  resume.on_progress = [&progressed](const ExperimentProgress&) { progressed = true; };
+  const auto resumed = run_experiment(ds, formats, cfg, resume);
+  EXPECT_FALSE(progressed);  // everything replayed, nothing re-solved
+  EXPECT_EQ(resume_stats.journal_replayed_runs, ds.size() * formats.size());
+  EXPECT_EQ(csv_of(results, "fault_a"), csv_of(resumed, "fault_b"));
   std::remove(ck.c_str());
 }
 

@@ -1,0 +1,256 @@
+// Failpoint framework tests: spec/env parsing, trigger semantics, the
+// unarmed fast path, RAII scoping, and registry thread safety (this file
+// also runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/failpoint.hpp"
+
+namespace fp = mfla::failpoint;
+
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("MFLA_FAILPOINTS");
+    fp::disarm_all();
+    fp::set_seed(0);  // restore the default probability seed
+  }
+  void TearDown() override {
+    fp::disarm_all();
+    fp::set_seed(0);
+  }
+};
+
+fp::Config error_cfg(int code) {
+  fp::Config cfg;
+  cfg.action = fp::Action::error;
+  cfg.error_code = code;
+  return cfg;
+}
+
+TEST_F(FailpointTest, UnarmedIsCompleteNoop) {
+  EXPECT_FALSE(fp::any_armed());
+  EXPECT_EQ(MFLA_FAILPOINT("test.nothing"), 0);
+  // An unarmed macro must not even touch the registry: no hit recorded.
+  EXPECT_EQ(fp::stats("test.nothing").hits, 0u);
+}
+
+TEST_F(FailpointTest, ArmedOtherNameStillReturnsZero) {
+  fp::arm("test.other", error_cfg(5));
+  EXPECT_TRUE(fp::any_armed());
+  EXPECT_EQ(MFLA_FAILPOINT("test.mine"), 0);
+  EXPECT_EQ(MFLA_FAILPOINT("test.other"), 5);
+}
+
+TEST_F(FailpointTest, ErrorActionReturnsItsErrno) {
+  fp::arm("test.err", error_cfg(28));
+  EXPECT_EQ(MFLA_FAILPOINT("test.err"), 28);
+  EXPECT_EQ(MFLA_FAILPOINT("test.err"), 28);
+  const fp::Stats s = fp::stats("test.err");
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.fires, 2u);
+}
+
+TEST_F(FailpointTest, FromHitTriggerSkipsEarlyHits) {
+  fp::Config cfg = error_cfg(5);
+  cfg.from_hit = 3;
+  fp::arm("test.from", cfg);
+  EXPECT_EQ(MFLA_FAILPOINT("test.from"), 0);
+  EXPECT_EQ(MFLA_FAILPOINT("test.from"), 0);
+  EXPECT_EQ(MFLA_FAILPOINT("test.from"), 5);  // hit 3: fires from here on
+  EXPECT_EQ(MFLA_FAILPOINT("test.from"), 5);
+  const fp::Stats s = fp::stats("test.from");
+  EXPECT_EQ(s.hits, 4u);
+  EXPECT_EQ(s.fires, 2u);
+}
+
+TEST_F(FailpointTest, FireCountWindowStopsFiring) {
+  fp::Config cfg = error_cfg(13);
+  cfg.from_hit = 2;
+  cfg.fire_count = 2;  // fire on hits 2 and 3 only
+  fp::arm("test.window", cfg);
+  EXPECT_EQ(MFLA_FAILPOINT("test.window"), 0);
+  EXPECT_EQ(MFLA_FAILPOINT("test.window"), 13);
+  EXPECT_EQ(MFLA_FAILPOINT("test.window"), 13);
+  EXPECT_EQ(MFLA_FAILPOINT("test.window"), 0);
+  EXPECT_EQ(fp::stats("test.window").fires, 2u);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFiresProbabilityOneAlwaysFires) {
+  fp::Config never = error_cfg(5);
+  never.probability = 0.0;
+  fp::arm("test.p0", never);
+  fp::Config always = error_cfg(5);
+  always.probability = 1.0;
+  fp::arm("test.p1", always);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(MFLA_FAILPOINT("test.p0"), 0);
+    EXPECT_EQ(MFLA_FAILPOINT("test.p1"), 5);
+  }
+  EXPECT_EQ(fp::stats("test.p0").fires, 0u);
+  EXPECT_EQ(fp::stats("test.p1").fires, 50u);
+}
+
+TEST_F(FailpointTest, ProbabilityStreamIsDeterministicPerSeed) {
+  fp::Config cfg = error_cfg(5);
+  cfg.probability = 0.5;
+
+  auto sample = [&](std::uint64_t seed) {
+    fp::set_seed(seed);
+    fp::arm("test.p50", cfg);  // re-arming resets counters and the stream
+    std::vector<int> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(MFLA_FAILPOINT("test.p50") != 0 ? 1 : 0);
+    return fired;
+  };
+
+  const auto a = sample(42);
+  const auto b = sample(42);
+  EXPECT_EQ(a, b);
+  // And roughly fair: a 0.5 stream firing never or always would mean the
+  // trigger is broken, not unlucky (P < 2^-60).
+  int fires = 0;
+  for (const int f : a) fires += f;
+  EXPECT_GT(fires, 5);
+  EXPECT_LT(fires, 59);
+}
+
+TEST_F(FailpointTest, ThrowActionThrowsInjected) {
+  fp::Config cfg;
+  cfg.action = fp::Action::throw_exception;
+  fp::arm("test.throw", cfg);
+  try {
+    (void)MFLA_FAILPOINT("test.throw");
+    FAIL() << "expected fp::Injected";
+  } catch (const fp::Injected& e) {
+    EXPECT_NE(std::string(e.what()).find("test.throw"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, DelayActionSleepsAndReturnsZero) {
+  fp::Config cfg;
+  cfg.action = fp::Action::delay;
+  cfg.delay_ms = 20;
+  fp::arm("test.delay", cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(MFLA_FAILPOINT("test.delay"), 0);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 15);  // sleep_for may round, allow slack
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringAndDisarmAllClearsEverything) {
+  fp::arm("test.a", error_cfg(5));
+  fp::arm("test.b", error_cfg(5));
+  EXPECT_EQ(fp::armed_names().size(), 2u);
+  fp::disarm("test.a");
+  EXPECT_EQ(MFLA_FAILPOINT("test.a"), 0);
+  EXPECT_EQ(MFLA_FAILPOINT("test.b"), 5);
+  fp::disarm_all();
+  EXPECT_FALSE(fp::any_armed());
+  EXPECT_EQ(MFLA_FAILPOINT("test.b"), 0);
+  EXPECT_TRUE(fp::armed_names().empty());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    fp::ScopedFailpoint scoped("test.scoped", error_cfg(5));
+    EXPECT_EQ(MFLA_FAILPOINT("test.scoped"), 5);
+  }
+  EXPECT_FALSE(fp::any_armed());
+  EXPECT_EQ(MFLA_FAILPOINT("test.scoped"), 0);
+}
+
+TEST_F(FailpointTest, SpecParsingArmsEveryClause) {
+  const std::size_t n = fp::arm_from_spec(
+      " a.x = error(enospc) @ 2 ; b.y=throw@p0.25, c.z=delay(7)@4+2 ;; d.w=error(122)");
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(fp::armed_names().size(), 4u);
+  // a.x: ENOSPC from hit 2
+  EXPECT_EQ(MFLA_FAILPOINT("a.x"), 0);
+  EXPECT_EQ(MFLA_FAILPOINT("a.x"), 28);
+  // d.w: numeric errno, every hit
+  EXPECT_EQ(MFLA_FAILPOINT("d.w"), 122);
+}
+
+TEST_F(FailpointTest, MalformedSpecThrowsAndArmsNothing) {
+  EXPECT_THROW(fp::arm_from_spec("a.x=error;b.y"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_spec("=error"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_spec("a=explode"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_spec("a=error(nonsense)"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_spec("a=error@0"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_spec("a=error@p1.5"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_spec("a=delay"), std::invalid_argument);
+  // All-or-nothing: the valid first clause of a malformed spec is not armed.
+  EXPECT_THROW(fp::arm_from_spec("good=error(5);bad=@@"), std::invalid_argument);
+  EXPECT_FALSE(fp::any_armed());
+}
+
+TEST_F(FailpointTest, EnvArming) {
+  ::setenv("MFLA_FAILPOINTS", "env.point=error(13)@2", 1);
+  fp::arm_from_env();
+  EXPECT_TRUE(fp::any_armed());
+  EXPECT_EQ(MFLA_FAILPOINT("env.point"), 0);
+  EXPECT_EQ(MFLA_FAILPOINT("env.point"), 13);
+  ::unsetenv("MFLA_FAILPOINTS");
+}
+
+TEST_F(FailpointTest, MalformedEnvWarnsButDoesNotThrow) {
+  ::setenv("MFLA_FAILPOINTS", "broken=!!", 1);
+  EXPECT_NO_THROW(fp::arm_from_env());
+  EXPECT_FALSE(fp::any_armed());
+  ::unsetenv("MFLA_FAILPOINTS");
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluateCountsEveryHit) {
+  fp::Config cfg = error_cfg(5);
+  cfg.from_hit = 1000000;  // never fires; we are testing the counters
+  fp::arm("test.mt", cfg);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<int> nonzero{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i)
+        if (MFLA_FAILPOINT("test.mt") != 0) nonzero.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(nonzero.load(), 0);
+  EXPECT_EQ(fp::stats("test.mt").hits, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(FailpointTest, ConcurrentArmDisarmWhileEvaluating) {
+  // TSan target: hammer evaluate() on several threads while another thread
+  // arms/disarms the same name. No assertion beyond "no race, no crash,
+  // returns either 0 or the armed errno".
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int v = MFLA_FAILPOINT("test.flicker");
+        ASSERT_TRUE(v == 0 || v == 5);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    fp::arm("test.flicker", error_cfg(5));
+    fp::disarm("test.flicker");
+  }
+  stop.store(true);
+  for (auto& th : workers) th.join();
+  EXPECT_EQ(MFLA_FAILPOINT("test.flicker"), 0);
+}
+
+}  // namespace

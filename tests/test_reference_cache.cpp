@@ -2,6 +2,7 @@
 // exactness (eigenvalue/vector bits), key sensitivity, corrupted-entry
 // fallback, and the engine-level cold-vs-warm byte-identity guarantee.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <bit>
 #include <cstdio>
@@ -10,6 +11,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -17,6 +19,7 @@
 #include "core/results_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/laplacian.hpp"
+#include "support/failpoint.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
 
@@ -340,10 +343,6 @@ TEST_F(CorruptionTest, RecomputeAndStoreHealsEntry) {
   EXPECT_TRUE(out.ok);
 }
 
-// ---------------------------------------------------------------------------
-// Engine integration: cold vs warm
-// ---------------------------------------------------------------------------
-
 std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   EXPECT_TRUE(in.good()) << "cannot open " << path;
@@ -359,6 +358,193 @@ std::string csv_of(const std::vector<MatrixResult>& results, const std::string& 
   std::remove(path.c_str());
   return data;
 }
+
+// ---------------------------------------------------------------------------
+// Durability: failpoint-driven store failures, quarantine, degraded mode
+// ---------------------------------------------------------------------------
+
+class CacheDurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::disarm_all(); }
+  void TearDown() override { failpoint::disarm_all(); }
+
+  /// Temp-file leftovers would mean a failed attempt leaked its unpublished
+  /// write; every abandoned attempt must clean up after itself.
+  static std::size_t tmp_files_in(const std::string& dir) {
+    std::size_t n = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir))
+      if (e.path().filename().string().rfind(".tmp-", 0) == 0) ++n;
+    return n;
+  }
+};
+
+TEST_F(CacheDurabilityTest, StoreRetriesTransientWriteErrorThenSucceeds) {
+  TempDir dir("refcache_retry");
+  ReferenceCache cache(dir.path);
+  // ENOSPC on the first two write attempts; the third succeeds.
+  failpoint::arm_from_spec("refcache.store.write=error(enospc)@1+2");
+  cache.store(sample_key(10), sample_solution());
+  const RefCacheStats s = cache.stats();
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.store_retries, 2u);
+  EXPECT_EQ(s.store_failures, 0u);
+  EXPECT_FALSE(s.degraded);
+  EXPECT_EQ(tmp_files_in(dir.path), 0u);
+  ReferenceSolution back;
+  EXPECT_TRUE(cache.load(sample_key(10), back));
+}
+
+TEST_F(CacheDurabilityTest, StoreRetriesRenameErrorThenSucceeds) {
+  TempDir dir("refcache_rename");
+  ReferenceCache cache(dir.path);
+  failpoint::arm_from_spec("refcache.store.rename=error(eio)@1+1");
+  cache.store(sample_key(11), sample_solution());
+  const RefCacheStats s = cache.stats();
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.store_retries, 1u);
+  EXPECT_EQ(s.store_failures, 0u);
+  EXPECT_EQ(tmp_files_in(dir.path), 0u);
+  ReferenceSolution back;
+  EXPECT_TRUE(cache.load(sample_key(11), back));
+}
+
+TEST_F(CacheDurabilityTest, ExhaustedRetriesCountAFailureButDoNotDegradeYet) {
+  TempDir dir("refcache_enospc");
+  ReferenceCache cache(dir.path);
+  failpoint::arm_from_spec("refcache.store.write=error(enospc)");  // every attempt
+  cache.store(sample_key(12), sample_solution());
+  const RefCacheStats s = cache.stats();
+  EXPECT_EQ(s.stores, 0u);
+  EXPECT_EQ(s.store_retries, 2u);  // attempts 2 and 3
+  EXPECT_EQ(s.store_failures, 1u);
+  EXPECT_FALSE(s.degraded) << "one abandoned store must not disable the cache";
+  EXPECT_EQ(tmp_files_in(dir.path), 0u);
+  ReferenceSolution back;
+  EXPECT_FALSE(cache.load(sample_key(12), back));
+  failpoint::disarm_all();
+  // The cache is still live: the next store (disk freed) works.
+  cache.store(sample_key(12), sample_solution());
+  EXPECT_TRUE(cache.load(sample_key(12), back));
+}
+
+TEST_F(CacheDurabilityTest, ConsecutiveStoreFailuresDegradeToRecomputeOnly) {
+  TempDir dir("refcache_degrade");
+  ReferenceCache cache(dir.path);
+  failpoint::arm_from_spec("refcache.store.write=error(enospc)");
+  for (std::uint64_t i = 0; i < 3; ++i) cache.store(sample_key(20 + i), sample_solution());
+  EXPECT_TRUE(cache.degraded());
+  EXPECT_EQ(cache.stats().store_failures, 3u);
+  failpoint::disarm_all();
+  // Degraded is sticky: even with I/O healthy again, stores are no-ops
+  // (a full disk costs a handful of failed writes, not one per matrix).
+  cache.store(sample_key(23), sample_solution());
+  EXPECT_EQ(cache.stats().stores, 0u);
+  ReferenceSolution back;
+  EXPECT_FALSE(cache.load(sample_key(23), back));
+}
+
+TEST_F(CacheDurabilityTest, UnreadableEntryIsQuarantined) {
+  TempDir dir("refcache_shortread");
+  ReferenceCache cache(dir.path);
+  cache.store(sample_key(30), sample_solution());
+  const std::string path = cache.entry_path(sample_key(30));
+  failpoint::arm_from_spec("refcache.load.read=error(eio)@1+1");
+  ReferenceSolution back;
+  EXPECT_FALSE(cache.load(sample_key(30), back));
+  const RefCacheStats s = cache.stats();
+  EXPECT_EQ(s.rejects, 1u);
+  EXPECT_EQ(s.quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".bad")) << "corrupt bytes kept for post-mortem";
+  // The quarantined entry never warns again: the next load is a plain miss.
+  EXPECT_FALSE(cache.load(sample_key(30), back));
+  EXPECT_EQ(cache.stats().rejects, 1u);
+}
+
+TEST_F(CacheDurabilityTest, CorruptEntryQuarantinedThenHealedByRestore) {
+  TempDir dir("refcache_quarantine");
+  ReferenceCache cache(dir.path);
+  cache.store(sample_key(31), sample_solution());
+  const std::string path = cache.entry_path(sample_key(31));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  ReferenceSolution back;
+  EXPECT_FALSE(cache.load(sample_key(31), back));
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  EXPECT_TRUE(std::filesystem::exists(path + ".bad"));
+  cache.store(sample_key(31), sample_solution());  // recompute-and-store heals
+  EXPECT_TRUE(cache.load(sample_key(31), back));
+  EXPECT_TRUE(std::filesystem::exists(path + ".bad")) << "quarantine survives the heal";
+}
+
+TEST_F(CacheDurabilityTest, ConcurrentStoresOfOneKeyAllPublishCleanly) {
+  TempDir dir("refcache_concurrent");
+  ReferenceCache cache(dir.path);
+  const ReferenceSolution ref = sample_solution();
+  // Sprinkle transient failures across the racing producers; unique temp
+  // names mean they cannot clobber each other's in-flight writes.
+  failpoint::arm_from_spec("refcache.store.write=error(enospc)@2+3");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] { cache.store(sample_key(40), ref); });
+  for (auto& th : threads) th.join();
+  failpoint::disarm_all();
+  EXPECT_EQ(tmp_files_in(dir.path), 0u);
+  ReferenceSolution back;
+  ASSERT_TRUE(cache.load(sample_key(40), back));
+  ASSERT_EQ(back.values.size(), ref.values.size());
+  for (std::size_t i = 0; i < ref.values.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.values[i]),
+              std::bit_cast<std::uint64_t>(ref.values[i]));
+}
+
+TEST_F(CacheDurabilityTest, UncreatableDirectoryDegradesInsteadOfThrowing) {
+  failpoint::arm_from_spec("refcache.open=error(eacces)");
+  ReferenceCache cache("test_out/refcache_nodir_" +
+                       std::to_string(::getpid()));  // never created
+  failpoint::disarm_all();
+  EXPECT_TRUE(cache.degraded());
+  EXPECT_TRUE(cache.stats().degraded);
+  cache.store(sample_key(50), sample_solution());
+  ReferenceSolution back;
+  EXPECT_FALSE(cache.load(sample_key(50), back));
+  EXPECT_EQ(cache.stats().stores, 0u);
+}
+
+TEST_F(CacheDurabilityTest, SweepWithUnwritableCacheCompletesWithCorrectResults) {
+  // The acceptance bar: ENOSPC / unwritable cache dir must never kill a
+  // sweep — it completes, produces byte-identical results, and reports the
+  // degradation in stats.
+  const auto ds = cache_dataset();
+  const std::vector<FormatId> formats = {FormatId::float32, FormatId::takum16};
+  const ExperimentConfig cfg = cache_config();
+
+  ScheduleOptions plain;
+  plain.threads = 2;
+  const std::string plain_csv = csv_of(run_experiment(ds, formats, cfg, plain), "deg_plain");
+
+  failpoint::arm_from_spec("refcache.open=error(eacces)");
+  ReferenceCache cache("test_out/refcache_deg_" + std::to_string(::getpid()));
+  failpoint::disarm_all();
+  ASSERT_TRUE(cache.degraded());
+  SweepStats stats;
+  ScheduleOptions sched;
+  sched.threads = 2;
+  sched.ref_cache = &cache;
+  sched.stats = &stats;
+  const std::string degraded_csv =
+      csv_of(run_experiment(ds, formats, cfg, sched), "deg_swept");
+  EXPECT_EQ(plain_csv, degraded_csv);
+  EXPECT_EQ(stats.reference_solves, ds.size()) << "degraded cache recomputes every reference";
+  EXPECT_EQ(cache.stats().stores, 0u);
+  EXPECT_TRUE(cache.stats().degraded);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: cold vs warm
+// ---------------------------------------------------------------------------
 
 TEST(ReferenceCacheEngine, WarmSweepSkipsAllReferenceSolvesAndMatchesColdByteForByte) {
   TempDir dir("refcache_engine");

@@ -25,6 +25,15 @@ using namespace mfla;
 
 const char* kDefaultFormats = "f16,bf16,p16,t16,f32,p32,t32,f64,p64,t64";
 
+// Exit codes, so scripts (CI, mfla_crashtest) can tell failure classes
+// apart: 0 success, 2 usage error, 3 I/O failure (journal, CSV, dataset
+// files, disk full), 4 solve failure (solver aborts recorded by the solve
+// guard, or an unexpected engine exception).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitSolve = 4;
+
 void print_usage(std::FILE* out) {
   std::fprintf(
       out,
@@ -36,7 +45,7 @@ void print_usage(std::FILE* out) {
 
 [[noreturn]] void usage_error() {
   print_usage(stderr);
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
 [[noreturn]] void print_help() {
@@ -184,7 +193,7 @@ int main(int argc, char** argv) {
     formats = parse_format_keys(formats_spec);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "--formats: %s\n", e.what());
-    return 2;
+    return kExitUsage;
   }
 
   ReferenceTier ref_tier;
@@ -192,7 +201,7 @@ int main(int argc, char** argv) {
     ref_tier = reference_tier_from_name(ref_tier_spec);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "--ref-tier: %s\n", e.what());
-    return 2;
+    return kExitUsage;
   }
 
   // Assemble the dataset.
@@ -220,12 +229,14 @@ int main(int argc, char** argv) {
       dataset.push_back(make_test_matrix(path, "user", "user", coo));
     }
   } catch (const std::exception& e) {
+    // Dataset assembly failures are input I/O: unreadable or malformed
+    // matrix files.
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitIo;
   }
   if (dataset.empty()) {
     std::fprintf(stderr, "no matrices to run\n");
-    return 1;
+    return kExitUsage;
   }
 
   const std::string threads_desc = threads == 0 ? "auto" : std::to_string(threads);
@@ -254,9 +265,18 @@ int main(int argc, char** argv) {
     if (!checkpoint_path.empty()) sweep.checkpoint(checkpoint_path).resume(resume);
     if (!ref_cache_dir.empty()) sweep.cache(ref_cache_dir);
     result = sweep.run();
+  } catch (const IoError& e) {
+    // Durability failures fail fast and loud: a journal that cannot be
+    // written means checkpoints are being lost, not "the sweep mostly
+    // worked". Same for an unwritable results CSV.
+    std::fprintf(stderr, "\nI/O error: %s\n", e.what());
+    return kExitIo;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "\nerror: %s\n", e.what());
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "\nerror: %s\n", e.what());
-    return 1;
+    return kExitSolve;
   }
 
   if (result.cache_attached) {
@@ -268,6 +288,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cs.stores), static_cast<unsigned long long>(cs.rejects),
         result.stats.reference_seconds,
         result.stats.reference_solves == 0 ? " — fully warm" : "");
+    if (cs.quarantined + cs.store_failures + cs.store_retries > 0 || cs.degraded)
+      std::printf(
+          "reference cache health: %llu quarantined, %llu store retries, %llu store "
+          "failures%s\n",
+          static_cast<unsigned long long>(cs.quarantined),
+          static_cast<unsigned long long>(cs.store_retries),
+          static_cast<unsigned long long>(cs.store_failures),
+          cs.degraded ? " — DEGRADED to recompute-only (cache dir unwritable or disk full)"
+                      : "");
     // Per-stage times are summed across worker threads; the wall figure is
     // the sweep's elapsed time.
     std::printf(
@@ -298,6 +327,23 @@ int main(int argc, char** argv) {
     write_distribution_csv(out_prefix + "_" + std::to_string(bits) + "bit_eigenvalues.csv", eig);
     write_distribution_csv(out_prefix + "_" + std::to_string(bits) + "bit_eigenvectors.csv", vec);
   }
+  if (resume &&
+      result.stats.journal_replayed_runs + result.stats.journal_replayed_failures +
+              result.stats.journal_discarded_lines + result.stats.journal_truncated_bytes >
+          0) {
+    std::printf(
+        "journal recovery: %zu runs + %zu reference failures replayed, %zu torn/unknown "
+        "lines discarded, %zu trailing bytes truncated\n",
+        result.stats.journal_replayed_runs, result.stats.journal_replayed_failures,
+        result.stats.journal_discarded_lines, result.stats.journal_truncated_bytes);
+  }
   std::printf("results written to %s_*.csv\n", out_prefix.c_str());
-  return 0;
+  if (result.stats.solve_faults + result.stats.reference_faults > 0) {
+    std::fprintf(stderr,
+                 "solve faults: %zu format runs and %zu reference solves aborted and were "
+                 "recorded as structured failures (outcome 'fault' in the CSV)\n",
+                 result.stats.solve_faults, result.stats.reference_faults);
+    return kExitSolve;
+  }
+  return kExitOk;
 }
