@@ -1,5 +1,7 @@
 #include "api/sinks.hpp"
 
+#include <unistd.h>
+
 #include <utility>
 
 #include "api/sweep.hpp"
@@ -40,7 +42,13 @@ void MultiSink::on_done(const SweepResult& r) {
 
 CsvSink::CsvSink(std::string path) : path_(std::move(path)) {}
 
-void CsvSink::on_done(const SweepResult& r) { write_results_csv(path_, r.results); }
+void CsvSink::on_done(const SweepResult& r) {
+  if (r.stats.canceled_runs != 0) {
+    skipped_ = true;
+    return;
+  }
+  write_results_csv(path_, r.results);
+}
 
 // ---------------------------------------------------------------------------
 // JournalSink
@@ -153,7 +161,13 @@ std::string format_eta(double seconds) {
 
 }  // namespace
 
-ProgressSink::ProgressSink(std::FILE* stream) : stream_(stream) {}
+ProgressSink::ProgressSink(std::FILE* stream, Mode mode) : stream_(stream) {
+  switch (mode) {
+    case Mode::tty: tty_ = true; break;
+    case Mode::plain: tty_ = false; break;
+    case Mode::auto_detect: tty_ = ::isatty(::fileno(stream_)) == 1; break;
+  }
+}
 
 void ProgressSink::on_run(const RunEvent& e) { render(e.done, e.total, e.elapsed_seconds); }
 
@@ -164,6 +178,13 @@ void ProgressSink::on_reference(const ReferenceEvent& e) {
 void ProgressSink::render(std::size_t done, std::size_t total, double elapsed_seconds) {
   if (total == 0) return;
   const double frac = static_cast<double>(done) / static_cast<double>(total);
+  if (!tty_) {
+    // Non-interactive stream: one plain line per 10% milestone (plus the
+    // final one), never a carriage return.
+    const std::size_t decile = (10 * done) / total;
+    if (decile <= last_decile_ && done != total) return;
+    last_decile_ = decile;
+  }
   std::string line = "runs " + std::to_string(done) + "/" + std::to_string(total);
   char pct[16];
   std::snprintf(pct, sizeof pct, " (%3.0f%%)", 100.0 * frac);
@@ -174,8 +195,12 @@ void ProgressSink::render(std::size_t done, std::size_t total, double elapsed_se
         elapsed_seconds * static_cast<double>(total - done) / static_cast<double>(done);
     line += "  eta " + format_eta(eta);
   }
-  std::fprintf(stream_, "\r%-60s", line.c_str());
-  if (done == total) std::fprintf(stream_, "\n");
+  if (tty_) {
+    std::fprintf(stream_, "\r%-60s", line.c_str());
+    if (done == total) std::fprintf(stream_, "\n");
+  } else {
+    std::fprintf(stream_, "%s\n", line.c_str());
+  }
   std::fflush(stream_);
 }
 

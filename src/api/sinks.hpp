@@ -110,15 +110,21 @@ class MultiSink final : public ResultSink {
 };
 
 /// Writes the raw per-run results CSV at on_done — byte-identical to
-/// write_results_csv over the same results.
+/// write_results_csv over the same results. A canceled sweep
+/// (SweepStats::canceled_runs != 0) writes nothing: a partial CSV is
+/// indistinguishable from a complete one, so the only durable artifact of
+/// an interrupted sweep is its resumable checkpoint journal.
 class CsvSink final : public ResultSink {
  public:
   explicit CsvSink(std::string path);
   void on_done(const SweepResult& r) override;
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// True when on_done skipped the write because the sweep was canceled.
+  [[nodiscard]] bool skipped_incomplete() const noexcept { return skipped_; }
 
  private:
   std::string path_;
+  bool skipped_ = false;
 };
 
 /// Streams the event log as a JSONL journal in the checkpoint format
@@ -172,12 +178,17 @@ class MemorySink final : public ResultSink {
   std::vector<MatrixResult> results_;
 };
 
-/// Renders the classic `runs done/total (pct) elapsed eta` line to a
-/// stream (default stderr), overwriting in place and finishing with a
-/// newline when the sweep completes.
+/// Renders the classic `runs done/total (pct) elapsed eta` line. On a TTY
+/// it overwrites in place (carriage return) and finishes with a newline;
+/// on anything else — a CI log, a pipe, a redirected file — it emits one
+/// plain line per 10% milestone instead, so logs don't fill up with
+/// \r-spam.
 class ProgressSink final : public ResultSink {
  public:
-  explicit ProgressSink(std::FILE* stream = stderr);
+  /// How to render. Auto (the default) asks isatty() about the stream.
+  enum class Mode { auto_detect, tty, plain };
+
+  explicit ProgressSink(std::FILE* stream = stderr, Mode mode = Mode::auto_detect);
   void on_run(const RunEvent& e) override;
   void on_reference(const ReferenceEvent& e) override;
 
@@ -185,6 +196,8 @@ class ProgressSink final : public ResultSink {
   void render(std::size_t done, std::size_t total, double elapsed_seconds);
 
   std::FILE* stream_;
+  bool tty_ = false;
+  std::size_t last_decile_ = 0;  // plain mode: highest 10% milestone printed
 };
 
 }  // namespace mfla::api

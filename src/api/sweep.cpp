@@ -90,6 +90,14 @@ Sweep& Sweep::threads(std::size_t n) {
   threads_ = n;
   return *this;
 }
+Sweep& Sweep::pool(ThreadPool* p) {
+  pool_ = p;
+  return *this;
+}
+Sweep& Sweep::cancel(const std::atomic<bool>* flag) {
+  cancel_ = flag;
+  return *this;
+}
 Sweep& Sweep::checkpoint(std::string path) {
   checkpoint_ = std::move(path);
   return *this;
@@ -100,6 +108,10 @@ Sweep& Sweep::resume(bool on) {
 }
 Sweep& Sweep::cache(std::string directory) {
   cache_dir_ = std::move(directory);
+  return *this;
+}
+Sweep& Sweep::cache(ReferenceCache* shared) {
+  shared_cache_ = shared;
   return *this;
 }
 
@@ -149,13 +161,17 @@ SweepResult Sweep::run() {
 
   ScheduleOptions sched;
   sched.threads = threads_;
+  sched.pool = pool_;
+  sched.cancel = cancel_;
   sched.checkpoint_path = checkpoint_;
   sched.resume = resume_;
   SweepStats stats;
   sched.stats = &stats;
 
   std::unique_ptr<ReferenceCache> cache;
-  if (!cache_dir_.empty()) {
+  if (shared_cache_ != nullptr) {
+    sched.ref_cache = shared_cache_;
+  } else if (!cache_dir_.empty()) {
     cache = std::make_unique<ReferenceCache>(cache_dir_);
     sched.ref_cache = cache.get();
   }
@@ -224,7 +240,10 @@ SweepResult Sweep::run() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   out.stats = stats;
   out.executed_runs = executed;
-  if (cache) {
+  if (shared_cache_ != nullptr) {
+    out.cache_attached = true;
+    out.cache = shared_cache_->stats();
+  } else if (cache) {
     out.cache_attached = true;
     out.cache = cache->stats();
   }

@@ -80,9 +80,21 @@ class Sweep {
 
   // -- engine configuration (ScheduleOptions) -------------------------------
   Sweep& threads(std::size_t n);  ///< 0 = hardware concurrency
+  /// Run on an externally owned ThreadPool instead of a per-run() pool —
+  /// how the serving daemon multiplexes many tenant sweeps over one pool.
+  /// Overrides threads(); results stay bit-identical either way.
+  Sweep& pool(ThreadPool* p);
+  /// Cooperative cancellation flag (not owned). Once it reads true, queued
+  /// work is skipped (SweepStats::canceled_runs) while in-flight runs
+  /// finish and are journaled — the drain path shared by the daemon's
+  /// SIGTERM handling and the CLI's interrupt handling.
+  Sweep& cancel(const std::atomic<bool>* flag);
   Sweep& checkpoint(std::string path);
   Sweep& resume(bool on = true);
   Sweep& cache(std::string directory);
+  /// Attach an externally owned ReferenceCache (shared across concurrent
+  /// sweeps; it is concurrency-safe). Overrides cache(directory).
+  Sweep& cache(ReferenceCache* shared);
 
   // -- observers ------------------------------------------------------------
   Sweep& sink(std::shared_ptr<ResultSink> s);
@@ -107,9 +119,12 @@ class Sweep {
   std::vector<FormatId> formats_;
   ExperimentConfig cfg_;
   std::size_t threads_ = 0;
+  ThreadPool* pool_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
   std::string checkpoint_;
   bool resume_ = false;
   std::string cache_dir_;
+  ReferenceCache* shared_cache_ = nullptr;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
   std::function<void(const ExperimentProgress&)> progress_;
 };

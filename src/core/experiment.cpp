@@ -155,6 +155,11 @@ struct EngineState {
       ++sweep.solve_faults;
   }
 
+  void count_canceled(std::size_t runs) {
+    std::lock_guard<std::mutex> lk(stats_mtx);
+    sweep.canceled_runs += runs;
+  }
+
   /// Serialized (under the same lock as on_run/on_progress) so sinks see
   /// fault events interleaved consistently with the run stream.
   void notify_fault(const ScheduleOptions& sched, const TestMatrix& tm, const SolveFault& f) {
@@ -289,12 +294,26 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
   }
   st.t0 = std::chrono::steady_clock::now();
 
+  // Cooperative cancellation: checked before work starts, never mid-solve.
+  const auto canceled = [&sched] {
+    return sched.cancel != nullptr && sched.cancel->load(std::memory_order_relaxed);
+  };
+
   if (st.total > 0) {
-    ThreadPool pool(sched.threads);
+    // Run either on a pool of our own or on a caller-shared one; in both
+    // cases the TaskGroup scopes waiting (and error propagation) to this
+    // invocation's tasks only.
+    std::unique_ptr<ThreadPool> own_pool;
+    if (sched.pool == nullptr) own_pool = std::make_unique<ThreadPool>(sched.threads);
+    TaskGroup group(sched.pool != nullptr ? *sched.pool : *own_pool);
     for (std::size_t i = 0; i < nm; ++i) {
       if (pending[i].empty()) continue;
-      pool.submit([&pool, &st, &dataset, &formats, &cfg, &sched, &pending, i] {
+      group.submit([&group, &canceled, &st, &dataset, &formats, &cfg, &sched, &pending, i] {
         const TestMatrix& tm = dataset[i];
+        if (canceled()) {
+          st.count_canceled(pending[i].size());
+          return;
+        }
         Rng rng(tm.name, cfg.seed);
         auto start = std::make_shared<const std::vector<double>>(rng.unit_vector(tm.n()));
         // Prerequisite: the tiered reference solve — served from the
@@ -354,8 +373,12 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
           return;
         }
         for (const std::size_t j : pending[i]) {
-          pool.submit([&st, &dataset, &formats, &cfg, &sched, start, ref, i, j] {
+          group.submit([&canceled, &st, &dataset, &formats, &cfg, &sched, start, ref, i, j] {
             const TestMatrix& tmj = dataset[i];
+            if (canceled()) {
+              st.count_canceled(1);
+              return;
+            }
             // Solve guard: a format run that aborts (NaN/Inf-driven solver
             // exception, bad_alloc, injected fault) becomes a journaled
             // RunOutcome::fault row — one lost data point, not a lost sweep.
@@ -388,7 +411,7 @@ std::vector<MatrixResult> run_experiment(const std::vector<TestMatrix>& dataset,
         }
       });
     }
-    pool.wait_idle();  // rethrows the first task exception, if any
+    group.wait();  // rethrows the first task exception of THIS sweep, if any
   }
   if (sched.stats != nullptr) *sched.stats = st.sweep;
 

@@ -17,6 +17,7 @@
 // stream derived from the matrix name, never from scheduling order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -223,6 +224,10 @@ struct SweepStats {
   // plus reference solves whose abort was recorded as a reference failure.
   std::size_t solve_faults = 0;
   std::size_t reference_faults = 0;
+  // Runs skipped because ScheduleOptions::cancel fired mid-sweep. Nonzero
+  // means the returned results are INCOMPLETE (the journal, if any, holds
+  // everything that did finish and the sweep is resumable).
+  std::size_t canceled_runs = 0;
 };
 
 /// What the solve guard caught for one (matrix, format) run or one
@@ -235,10 +240,24 @@ struct SolveFault {
   std::string what;  // the captured exception message
 };
 
+class ThreadPool;  // support/thread_pool.hpp
+
 /// Engine knobs, orthogonal to the numerical ExperimentConfig.
 struct ScheduleOptions {
-  /// Worker threads; 0 = hardware concurrency.
+  /// Worker threads; 0 = hardware concurrency. Ignored when `pool` is set.
   std::size_t threads = 0;
+  /// Run on this externally owned pool instead of creating one per
+  /// invocation. Several concurrent run_experiment calls may share a pool
+  /// (the serving daemon's scheduler does); each invocation waits only on
+  /// its own tasks. Results stay bit-identical either way.
+  ThreadPool* pool = nullptr;
+  /// Cooperative cancellation (not owned; may be flipped from a signal
+  /// handler or another thread). Once true, tasks not yet started are
+  /// skipped and counted in SweepStats::canceled_runs; runs already in
+  /// flight finish and are journaled normally, so a canceled checkpointed
+  /// sweep is always resumable. The returned results are incomplete when
+  /// canceled_runs != 0.
+  const std::atomic<bool>* cancel = nullptr;
   /// JSONL journal path; empty disables checkpointing. Requires unique
   /// matrix names in the dataset.
   std::string checkpoint_path;

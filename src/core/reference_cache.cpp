@@ -12,6 +12,15 @@
 #include <thread>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define MFLA_HAVE_FLOCK 1
+#else
+#define MFLA_HAVE_FLOCK 0
+#endif
+
 #include "support/failpoint.hpp"
 
 namespace mfla {
@@ -99,6 +108,38 @@ void warn(const std::string& path, const char* why) {
                why);
 }
 
+/// RAII advisory inter-process lock on an already-open fd (`<dir>/.lock`).
+/// flock also excludes between two DIFFERENT fds for the same file within
+/// one process, so two ReferenceCache instances on one directory — one per
+/// daemon tenant, say — serialize exactly like two processes do. A -1 fd
+/// (lock file uncreatable) degrades to a no-op; the in-process mutex the
+/// callers already hold still serializes within this process.
+class DirLock {
+ public:
+  explicit DirLock(int fd) : fd_(fd) {
+#if MFLA_HAVE_FLOCK
+    if (fd_ >= 0) {
+      int rc;
+      do {
+        rc = ::flock(fd_, LOCK_EX);
+      } while (rc != 0 && errno == EINTR);
+      locked_ = rc == 0;
+    }
+#endif
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+  ~DirLock() {
+#if MFLA_HAVE_FLOCK
+    if (locked_) ::flock(fd_, LOCK_UN);
+#endif
+  }
+
+ private:
+  int fd_ = -1;
+  bool locked_ = false;
+};
+
 }  // namespace
 
 Hash128 reference_cache_key(const CsrMatrix<double>& matrix, const ExperimentConfig& cfg,
@@ -154,7 +195,22 @@ ReferenceCache::ReferenceCache(std::string directory) : dir_(std::move(directory
                  "warning: reference cache: cannot create directory '%s' (%s); continuing "
                  "without a cache — every reference will be recomputed\n",
                  dir_.c_str(), ec.message().c_str());
+    return;
   }
+#if MFLA_HAVE_FLOCK
+  // Inter-process lock file for the rename seams (see DirLock). Failure is
+  // non-fatal: the cache still works, just without cross-process exclusion.
+  const std::string lock_path = dir_ + "/.lock";
+  do {
+    lock_fd_ = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  } while (lock_fd_ < 0 && errno == EINTR);
+#endif
+}
+
+ReferenceCache::~ReferenceCache() {
+#if MFLA_HAVE_FLOCK
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+#endif
 }
 
 std::string ReferenceCache::entry_path(const Hash128& key) const {
@@ -169,10 +225,15 @@ bool ReferenceCache::load(const Hash128& key, ReferenceSolution& ref) {
   // the corrupt bytes stay available for a post-mortem but are never read
   // (or warned about) again. Best-effort — a concurrent store may have
   // just replaced the entry with a fresh one, in which case the rename
-  // quarantines that copy and the producer simply stores once more.
+  // quarantines that copy and the producer simply stores once more. The
+  // rename itself is serialized (mutex within this process, flock across
+  // processes sharing the directory) so exactly one of several concurrent
+  // rejecters performs it — the losers see ENOENT and count nothing.
   const auto reject = [&](const char* why) {
     warn(path, why);
     rejects_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(store_mtx_);
+    DirLock dl(lock_fd_);
     std::error_code ec;
     std::filesystem::rename(path, path + ".bad", ec);
     if (!ec) quarantined_.fetch_add(1, std::memory_order_relaxed);
@@ -279,7 +340,12 @@ void ReferenceCache::store(const Hash128& key, const ReferenceSolution& ref) {
   // the same key race harmlessly (identical content) and readers never see
   // a partial entry. Transient I/O errors get a few retries with bounded
   // backoff; a store abandoned after that is counted, warned about once,
-  // and leaves no orphaned temp file behind.
+  // and leaves no orphaned temp file behind. Stores (and the retry/degrade
+  // bookkeeping) are serialized within this process — they are rare and
+  // seconds-long solves apart, so contention is nil — and the publish
+  // rename additionally takes the directory flock against other processes.
+  std::lock_guard<std::mutex> store_lk(store_mtx_);
+  if (degraded_.load(std::memory_order_relaxed)) return;  // re-check under the lock
   std::string last_error;
   for (int attempt = 0; attempt < kStoreAttempts; ++attempt) {
     if (attempt > 0) {
@@ -313,10 +379,12 @@ void ReferenceCache::store(const Hash128& key, const ReferenceSolution& ref) {
       }
     }
     std::error_code ec;
-    if (int err = MFLA_FAILPOINT("refcache.store.rename"); err != 0)
+    if (int err = MFLA_FAILPOINT("refcache.store.rename"); err != 0) {
       ec = std::error_code(err, std::generic_category());
-    else
+    } else {
+      DirLock dl(lock_fd_);
       std::filesystem::rename(tmp, entry_path(key), ec);
+    }
     if (ec) {
       last_error = "cannot publish '" + entry_path(key) + "': " + ec.message();
       std::remove(tmp.c_str());

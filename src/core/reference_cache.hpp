@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,10 @@ class ReferenceCache {
   /// programming error) throws std::runtime_error.
   explicit ReferenceCache(std::string directory);
 
+  ReferenceCache(const ReferenceCache&) = delete;
+  ReferenceCache& operator=(const ReferenceCache&) = delete;
+  ~ReferenceCache();
+
   /// Look up `key`; on a valid hit fills `ref` with the exact stored
   /// solution (bit-identical doubles) and returns true. A corrupted,
   /// truncated or version-mismatched entry warns on stderr, counts as a
@@ -91,6 +96,16 @@ class ReferenceCache {
   void note_store_failure(const std::string& what);
 
   std::string dir_;
+  /// Serializes the mutating seams — store attempts (incl. the
+  /// retry/degrade bookkeeping) and quarantine renames — within this
+  /// process. The warm load path never takes it.
+  std::mutex store_mtx_;
+  /// fd of `<dir>/.lock`, flock()ed (advisory, exclusive) around the
+  /// temp→entry publish rename and the quarantine rename so multiple
+  /// PROCESSES sharing one cache directory cannot race those renames
+  /// (e.g. double-quarantine one corrupt entry). -1 when the lock file
+  /// could not be created; locking then degrades to in-process only.
+  int lock_fd_ = -1;
   std::atomic<std::uint64_t> lookups_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

@@ -1,0 +1,63 @@
+// Client side of the serving protocol: submit one sweep request, consume
+// the event stream, and reconstruct the MatrixResult vector — in dataset
+// order, runs in format order — so that writing it with write_results_csv
+// yields a CSV byte-identical to what mfla_experiment produces for the
+// same spec. Doubles survive the wire exactly (%.17g both ways), and the
+// server streams matrix metadata (class/category) the run events alone
+// would not carry.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "serve/protocol.hpp"
+
+namespace mfla::serve {
+
+struct ClientOptions {
+  std::string socket_path;
+  /// Socket send/recv timeout. Generous by default: the server streams an
+  /// event per completed run, and a single float128 reference solve can
+  /// legitimately take minutes.
+  int io_timeout_ms = 600000;
+  /// Test hook: hard-close the connection after this many received events
+  /// (0 = never) — how CI simulates a client dying mid-stream.
+  std::size_t abort_after_events = 0;
+};
+
+struct ClientResult {
+  enum class Status {
+    ok,              ///< full stream; `results` is complete
+    rejected,        ///< server said no (reject_reason/detail)
+    canceled,        ///< sweep canceled server-side (drain or dead stream)
+    error,           ///< sweep failed server-side (error holds the message)
+    protocol_error,  ///< stream violated the protocol (error has details)
+    io_error,        ///< connection died mid-stream (error has details)
+    aborted,         ///< abort_after_events closed the connection on purpose
+  };
+
+  Status status = Status::io_error;
+  std::string sweep_id;
+  std::string reject_reason;  ///< machine-readable, for Status::rejected
+  std::string error;          ///< human-readable failure detail
+  /// Reconstructed results, complete only for Status::ok: dataset order,
+  /// per-matrix runs in the meta line's format order.
+  std::vector<MatrixResult> results;
+  std::size_t events = 0;    ///< response lines consumed
+  std::size_t executed = 0;  ///< runs the server executed for this request
+  std::size_t replayed = 0;  ///< runs served from the server-side journal
+  double elapsed_seconds = 0.0;  ///< server-side sweep wall clock
+};
+
+/// Submit `req` and consume the stream to completion. Throws IoError only
+/// when the daemon cannot be reached at all; everything after the connect
+/// is reported through ClientResult.
+[[nodiscard]] ClientResult run_sweep(const ClientOptions& opts, const SweepRequest& req);
+
+/// Fetch the daemon's stats line (raw JSON). Throws IoError on connect or
+/// stream failure.
+[[nodiscard]] std::string fetch_stats(const ClientOptions& opts);
+
+}  // namespace mfla::serve

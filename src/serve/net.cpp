@@ -1,0 +1,162 @@
+#include "serve/net.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/errors.hpp"
+#include "support/failpoint.hpp"
+
+namespace mfla::serve {
+
+namespace {
+
+std::string errno_string(int err) { return std::strerror(err); }
+
+/// Fill a sockaddr_un; throws IoError when the path does not fit (the
+/// classic silent-truncation footgun).
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw IoError("serve: socket path '" + path + "' exceeds sockaddr_un limit (" +
+                  std::to_string(sizeof addr.sun_path - 1) + " bytes)");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Fd listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw IoError("serve: socket() failed: " + errno_string(errno));
+  // A previous daemon that crashed leaves its socket file behind; binding
+  // over it needs the unlink first. A LIVE daemon on the same path loses
+  // its listener too — single-instance-per-path is the deployment contract.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+    throw IoError("serve: bind('" + path + "') failed: " + errno_string(errno));
+  if (::listen(fd.get(), backlog) != 0)
+    throw IoError("serve: listen('" + path + "') failed: " + errno_string(errno));
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw IoError("serve: socket() failed: " + errno_string(errno));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+    throw IoError("serve: connect('" + path + "') failed: " + errno_string(errno) +
+                  " (is the daemon running?)");
+  return fd;
+}
+
+void set_io_timeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+Fd poll_accept(int listen_fd, int timeout_ms, std::string& err) {
+  err.clear();
+  if (int injected = MFLA_FAILPOINT("serve.accept"); injected != 0) {
+    err = "accept failed: " + errno_string(injected) + " (injected)";
+    return Fd();
+  }
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r == 0) return Fd();  // timeout: not an error
+  if (r < 0) {
+    if (errno == EINTR) return Fd();  // signal: let the caller re-check its flags
+    err = "poll failed: " + errno_string(errno);
+    return Fd();
+  }
+  const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    // Per-connection accept errors (peer already gone, fd pressure) must
+    // not kill the loop; report and carry on.
+    err = "accept failed: " + errno_string(errno);
+    return Fd();
+  }
+  return Fd(fd);
+}
+
+bool send_line(int fd, const std::string& line, std::string& err) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    if (int injected = MFLA_FAILPOINT("serve.write"); injected != 0) {
+      err = "write failed: " + errno_string(injected) + " (injected)";
+      return false;
+    }
+    const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = "write failed: " + errno_string(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+LineReader::Status LineReader::read_line(std::string& out, std::string& err) {
+  err.clear();
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      // The bound applies even when the terminator has already arrived —
+      // a complete-but-overlong line is still overlong.
+      if (nl > max_line_) {
+        err = "line exceeds " + std::to_string(max_line_) + " bytes";
+        return Status::overlong;
+      }
+      out.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return Status::ok;
+    }
+    if (buf_.size() > max_line_) {
+      err = "line exceeds " + std::to_string(max_line_) + " bytes";
+      return Status::overlong;
+    }
+    if (int injected = MFLA_FAILPOINT("serve.read"); injected != 0) {
+      err = "read failed: " + errno_string(injected) + " (injected)";
+      return Status::error;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) return Status::eof;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = "read failed: " + errno_string(errno);
+      return Status::error;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace mfla::serve

@@ -1,0 +1,87 @@
+// Minimal Unix-domain socket plumbing for the serving daemon: listener
+// setup, blocking connect, poll-based accept with a timeout (so the accept
+// loop can notice a drain request), whole-line send, and a bounded
+// buffered line reader. Everything reports errors by return value — a
+// misbehaving peer must never take the daemon down — and the I/O seams
+// carry `serve.accept` / `serve.read` / `serve.write` failpoints so CI can
+// torture the connection paths (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mfla::serve {
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Close the current descriptor (if any) and take ownership of `fd`.
+  void reset(int fd = -1) noexcept;
+  /// Give up ownership without closing.
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Create, bind and listen on a Unix-domain socket at `path`, replacing a
+/// stale socket file from a previous run. Throws IoError on failure
+/// (including a path longer than sockaddr_un allows).
+[[nodiscard]] Fd listen_unix(const std::string& path, int backlog = 16);
+
+/// Connect to the daemon's socket. Throws IoError when the daemon is not
+/// there (ENOENT/ECONNREFUSED) or the path is too long.
+[[nodiscard]] Fd connect_unix(const std::string& path);
+
+/// Arm SO_RCVTIMEO/SO_SNDTIMEO so a dead peer cannot wedge a connection
+/// thread forever. timeout_ms <= 0 leaves the socket blocking.
+void set_io_timeout(int fd, int timeout_ms);
+
+/// poll() for a pending connection; returns the accepted fd, or an invalid
+/// Fd on timeout (err empty) or error (err set). Fires the `serve.accept`
+/// failpoint.
+[[nodiscard]] Fd poll_accept(int listen_fd, int timeout_ms, std::string& err);
+
+/// Send `line` plus a trailing newline, looping over partial writes, with
+/// MSG_NOSIGNAL (a dead peer yields EPIPE, not a process-killing SIGPIPE).
+/// Fires the `serve.write` failpoint. Returns false with `err` set on any
+/// failure — the caller treats the connection as gone.
+[[nodiscard]] bool send_line(int fd, const std::string& line, std::string& err);
+
+/// Buffered newline-delimited reader with a hard per-line byte bound.
+class LineReader {
+ public:
+  enum class Status {
+    ok,        ///< one complete line in `out` (newline stripped)
+    eof,       ///< peer closed cleanly before another full line
+    error,     ///< read failed (err is set); includes timeouts
+    overlong,  ///< line exceeded max_line bytes: protocol violation
+  };
+
+  explicit LineReader(int fd, std::size_t max_line) : fd_(fd), max_line_(max_line) {}
+
+  /// Block (subject to the socket timeout) until one full line arrives.
+  /// Fires the `serve.read` failpoint.
+  [[nodiscard]] Status read_line(std::string& out, std::string& err);
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buf_;
+};
+
+}  // namespace mfla::serve

@@ -1,0 +1,94 @@
+#include "serve/scheduler.hpp"
+
+namespace mfla::serve {
+
+const char* admission_name(Admission a) noexcept {
+  switch (a) {
+    case Admission::admitted: return "admitted";
+    case Admission::overloaded: return "overloaded";
+    case Admission::tenant_quota: return "tenant_quota";
+    case Admission::shutting_down: return "shutting_down";
+  }
+  return "unknown";
+}
+
+void Scheduler::Slot::release() noexcept {
+  if (sched_ == nullptr) return;
+  sched_->release_slot(tenant_);
+  sched_ = nullptr;
+}
+
+Admission Scheduler::acquire(const std::string& tenant, Slot& slot) {
+  std::unique_lock<std::mutex> lk(mtx_);
+  if (shutdown_) {
+    ++counters_.rejected_shutdown;
+    return Admission::shutting_down;
+  }
+  // The rejection checks run BEFORE queueing: a client over capacity gets
+  // its answer immediately, never a silent park.
+  const auto tenant_it = per_tenant_.find(tenant);
+  if (tenant_it != per_tenant_.end() && tenant_it->second >= limits_.max_per_tenant) {
+    ++counters_.rejected_tenant;
+    return Admission::tenant_quota;
+  }
+  if (active_ >= limits_.max_active && queue_.size() >= limits_.max_queued) {
+    ++counters_.rejected_overloaded;
+    return Admission::overloaded;
+  }
+  ++per_tenant_[tenant];
+  if (active_ < limits_.max_active && queue_.empty()) {
+    ++active_;
+    ++counters_.admitted;
+    slot = Slot(this, tenant);
+    return Admission::admitted;
+  }
+  // Park in FIFO order. The ticket lives on this stack frame; it cannot
+  // go away while queued because we only return after removing it.
+  Ticket ticket;
+  ticket.id = next_ticket_++;
+  queue_.push_back(&ticket);
+  cv_.wait(lk, [&] {
+    if (ticket.canceled) return true;
+    return active_ < limits_.max_active && !queue_.empty() && queue_.front() == &ticket;
+  });
+  if (ticket.canceled) {
+    // begin_shutdown() already removed us from the queue.
+    if (--per_tenant_[tenant] == 0) per_tenant_.erase(tenant);
+    ++counters_.rejected_shutdown;
+    return Admission::shutting_down;
+  }
+  queue_.pop_front();
+  ++active_;
+  ++counters_.admitted;
+  // The next queued ticket may also be eligible (several slots can free
+  // up while the head waits to be scheduled).
+  cv_.notify_all();
+  slot = Slot(this, tenant);
+  return Admission::admitted;
+}
+
+void Scheduler::release_slot(const std::string& tenant) {
+  std::lock_guard<std::mutex> lk(mtx_);
+  --active_;
+  const auto it = per_tenant_.find(tenant);
+  if (it != per_tenant_.end() && --it->second == 0) per_tenant_.erase(it);
+  cv_.notify_all();
+}
+
+void Scheduler::begin_shutdown() {
+  std::lock_guard<std::mutex> lk(mtx_);
+  shutdown_ = true;
+  for (Ticket* t : queue_) t->canceled = true;
+  queue_.clear();
+  cv_.notify_all();
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lk(mtx_);
+  SchedulerStats s = counters_;
+  s.active = active_;
+  s.queued = queue_.size();
+  return s;
+}
+
+}  // namespace mfla::serve

@@ -1,0 +1,126 @@
+// Admission control for the serving daemon (docs/SERVING.md).
+//
+// The daemon runs every admitted sweep on ONE shared ThreadPool, so the
+// scheduler's job is not to allocate cores — the pool does that — but to
+// bound how much work is in the building at once and to keep one noisy
+// tenant from starving the rest:
+//
+//   * at most `max_active` sweeps execute concurrently;
+//   * at most `max_queued` more wait in a FIFO queue;
+//   * at most `max_per_tenant` of (active + queued) belong to one tenant;
+//   * anything beyond those bounds is REJECTED immediately with a
+//     machine-readable reason — the daemon never silently hangs a client.
+//
+// acquire() blocks the calling connection thread while its ticket is
+// queued (the client sees admission latency, not an error) and returns an
+// RAII slot whose destruction wakes the next ticket in line.
+// begin_shutdown() flips every queued ticket to `shutting_down` and makes
+// all future acquires fail fast, which is how SIGTERM drains: in-flight
+// sweeps finish, the queue empties immediately, nothing new gets in.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace mfla::serve {
+
+struct SchedulerLimits {
+  std::size_t max_active = 2;      ///< sweeps executing concurrently
+  std::size_t max_queued = 8;      ///< tickets waiting beyond that
+  std::size_t max_per_tenant = 4;  ///< one tenant's share of active + queued
+};
+
+/// Why an acquire() did not yield a slot.
+enum class Admission {
+  admitted,
+  overloaded,     ///< active + queued both full
+  tenant_quota,   ///< this tenant alone is at its fair share
+  shutting_down,  ///< begin_shutdown() has been called
+};
+
+[[nodiscard]] const char* admission_name(Admission a) noexcept;
+
+/// Monotonic counters for the stats endpoint.
+struct SchedulerStats {
+  std::size_t active = 0;  // snapshot
+  std::size_t queued = 0;  // snapshot
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_overloaded = 0;
+  std::uint64_t rejected_tenant = 0;
+  std::uint64_t rejected_shutdown = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerLimits limits) : limits_(limits) {}
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// An admitted sweep's execution slot; releases on destruction.
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(Slot&& other) noexcept : sched_(other.sched_), tenant_(std::move(other.tenant_)) {
+      other.sched_ = nullptr;
+    }
+    Slot& operator=(Slot&& other) noexcept {
+      if (this != &other) {
+        release();
+        sched_ = other.sched_;
+        tenant_ = std::move(other.tenant_);
+        other.sched_ = nullptr;
+      }
+      return *this;
+    }
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+    ~Slot() { release(); }
+
+    [[nodiscard]] bool held() const noexcept { return sched_ != nullptr; }
+    void release() noexcept;
+
+   private:
+    friend class Scheduler;
+    Slot(Scheduler* s, std::string tenant) : sched_(s), tenant_(std::move(tenant)) {}
+    Scheduler* sched_ = nullptr;
+    std::string tenant_;
+  };
+
+  /// Try to admit one sweep for `tenant`. Returns Admission::admitted with
+  /// `slot` filled (possibly after blocking in the FIFO queue while
+  /// max_active slots are busy), or a rejection reason immediately.
+  [[nodiscard]] Admission acquire(const std::string& tenant, Slot& slot);
+
+  /// Reject all queued tickets with `shutting_down` and make every future
+  /// acquire fail fast. Idempotent.
+  void begin_shutdown();
+
+  [[nodiscard]] SchedulerStats stats() const;
+  [[nodiscard]] const SchedulerLimits& limits() const noexcept { return limits_; }
+
+ private:
+  struct Ticket {
+    std::uint64_t id = 0;
+    bool canceled = false;  // shutdown flipped it while queued
+  };
+
+  void release_slot(const std::string& tenant);
+
+  const SchedulerLimits limits_;
+  mutable std::mutex mtx_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::size_t active_ = 0;
+  std::deque<Ticket*> queue_;  // FIFO of tickets parked in acquire()
+  std::uint64_t next_ticket_ = 1;
+  std::map<std::string, std::size_t> per_tenant_;  // active + queued per tenant
+  SchedulerStats counters_;
+};
+
+}  // namespace mfla::serve

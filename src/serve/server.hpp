@@ -1,0 +1,124 @@
+// The sweep-serving daemon (docs/SERVING.md): a Unix-domain-socket server
+// that runs api::Sweep requests for many concurrent tenants over ONE
+// shared ThreadPool and ONE shared ReferenceCache, streaming each sweep's
+// ResultSink events back as JSONL (serve/protocol.hpp).
+//
+// Life of a connection: accept -> read one request line (bounded, timed
+// out) -> admission control (serve/scheduler.hpp) -> `accepted` ->
+// meta/matrix/run/reference/fault event stream -> `done`. Rejections
+// (malformed, oversized, overloaded, tenant quota, draining, duplicate)
+// are a single `rejected` line; none of them ever kill the process.
+//
+// Each sweep checkpoints into its own journal namespace under
+// <state_dir>/sweeps/<sweep-id>/ — a retried request resumes its
+// predecessor's journal and re-streams journal-replayed results marked
+// "replayed":1. A client that dies mid-stream flips the sweep's cancel
+// flag: in-flight runs finish and journal, queued ones are skipped, and
+// the next retry resumes. Graceful shutdown (request_drain) closes the
+// listener first, rejects the queue, lets in-flight sweeps finish;
+// request_cancel additionally cancels them (their journals make the work
+// resumable).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "core/reference_cache.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mfla::serve {
+
+struct ServerOptions {
+  std::string socket_path;  ///< Unix socket to listen on (file is replaced)
+  /// Daemon state root: <state_dir>/refcache (shared reference cache) and
+  /// <state_dir>/sweeps/<id>/journal.jsonl (per-request checkpoints).
+  std::string state_dir;
+  std::size_t threads = 0;  ///< shared pool size; 0 = hardware concurrency
+  SchedulerLimits limits;
+  int io_timeout_ms = 30000;  ///< per-connection socket send/recv timeout
+  int accept_poll_ms = 200;   ///< drain-flag check cadence in the accept loop
+};
+
+/// Counter snapshot returned by the `stats` request and stats_snapshot().
+struct ServerStats {
+  std::uint64_t connections = 0;  ///< sockets accepted
+  std::uint64_t requests = 0;     ///< complete request lines read
+  std::uint64_t malformed = 0;    ///< rejected before admission (parse/size)
+  std::uint64_t sweeps_ok = 0;
+  std::uint64_t sweeps_failed = 0;    ///< engine threw (I/O, journal mismatch)
+  std::uint64_t sweeps_canceled = 0;  ///< dead client or shutdown cancel
+  SchedulerStats admission;
+  RefCacheStats cache;
+  bool draining = false;
+};
+
+class Server {
+ public:
+  /// Binds the socket, creates the state directory and the shared cache;
+  /// throws IoError when either is impossible.
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Run the accept loop on the calling thread. Returns — with the
+  /// listener closed, the socket file removed, and every connection thread
+  /// joined-equivalent (drained) — after request_drain()/request_cancel().
+  void serve();
+
+  /// Graceful shutdown: stop accepting, reject the queue, let in-flight
+  /// sweeps finish and their journals flush. Safe from any thread (but not
+  /// from a signal handler — flip an atomic there and call this after).
+  void request_drain();
+
+  /// Drain plus cooperative cancellation of in-flight sweeps (they stop at
+  /// the next task boundary; journals keep them resumable).
+  void request_cancel();
+
+  [[nodiscard]] ServerStats stats_snapshot();
+  [[nodiscard]] const ServerOptions& options() const noexcept { return opts_; }
+
+ private:
+  /// Per-connection state shared between the connection thread and
+  /// request_cancel(); `cancel` is also the sweep's cancel flag.
+  struct Conn {
+    Fd fd;
+    std::atomic<bool> cancel{false};
+  };
+
+  void handle_connection(Conn& conn);
+  void run_sweep(Conn& conn, const SweepRequest& req);
+  [[nodiscard]] std::string stats_line();
+
+  ServerOptions opts_;
+  ThreadPool pool_;
+  ReferenceCache cache_;
+  Scheduler scheduler_;
+  Fd listener_;
+
+  std::atomic<bool> drain_{false};
+  std::atomic<bool> cancel_all_{false};
+
+  std::mutex conn_mtx_;
+  std::condition_variable conn_cv_;
+  std::set<Conn*> conns_;  // open connections, for cancel fan-out + drain wait
+
+  std::mutex sweep_mtx_;
+  std::set<std::string> active_sweep_ids_;  // duplicate-request guard
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> sweeps_ok_{0};
+  std::atomic<std::uint64_t> sweeps_failed_{0};
+  std::atomic<std::uint64_t> sweeps_canceled_{0};
+};
+
+}  // namespace mfla::serve

@@ -86,10 +86,15 @@ int parse_errno_name(const std::string& clause, std::string arg) {
   // The handful of errnos the durability seams care about, by POSIX name.
   if (arg == "eio") return 5;
   if (arg == "enoent") return 2;
+  if (arg == "eagain") return 11;
   if (arg == "eacces") return 13;
   if (arg == "emfile") return 24;
   if (arg == "enospc") return 28;
   if (arg == "erofs") return 30;
+  // Connection-class errnos for the serve.* socket seams (docs/SERVING.md).
+  if (arg == "epipe") return 32;
+  if (arg == "econnreset") return 104;
+  if (arg == "etimedout") return 110;
   if (arg == "edquot") return 122;
   bad_spec(clause, "unknown errno name in error()");
 }

@@ -1,0 +1,164 @@
+#include "support/jsonl.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mfla::jsonl {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+JsonLine& JsonLine::num(const char* key, double v) {
+  next(key);
+  if (std::isnan(v)) {
+    s_ += "NaN";
+  } else if (std::isinf(v)) {
+    s_ += v > 0 ? "Infinity" : "-Infinity";
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    s_ += buf;
+  }
+  return *this;
+}
+
+bool parse_line(const std::string& line, std::map<std::string, std::string>& out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  auto parse_string = [&](std::string& s) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    s.clear();
+    while (i < line.size() && line[i] != '"') {
+      char c = line[i];
+      if (c == '\\') {
+        if (++i >= line.size()) return false;
+        switch (line[i]) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (i + 4 >= line.size()) return false;
+            char* end = nullptr;
+            const std::string hex = line.substr(i + 1, 4);
+            const unsigned long cp = std::strtoul(hex.c_str(), &end, 16);
+            if (end == nullptr || *end != '\0' || cp > 0xff) return false;  // we only emit \u00xx
+            c = static_cast<char>(cp);
+            i += 4;
+            break;
+          }
+          default: return false;
+        }
+      }
+      s += c;
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return true;
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(key)) return false;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(value)) return false;
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}') value += line[i++];
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) value.pop_back();
+      if (value.empty()) return false;
+    }
+    out[key] = value;
+    skip_ws();
+    if (i >= line.size()) return false;
+    if (line[i] == '}') return true;
+    if (line[i] != ',') return false;
+    ++i;
+  }
+}
+
+double field_num(const std::map<std::string, std::string>& obj, const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::invalid_argument(std::string("missing field ") + key);
+  // strtod accepts the inf/nan spellings %.17g produces and also
+  // "Infinity"/"NaN" (as the INF/NAN prefixes are case-insensitive).
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) throw std::invalid_argument(std::string("bad number in ") + key);
+  return v;
+}
+
+std::uint64_t field_u64(const std::map<std::string, std::string>& obj, const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::invalid_argument(std::string("missing field ") + key);
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || errno == ERANGE)
+    throw std::invalid_argument(std::string("bad integer in ") + key);
+  return v;
+}
+
+double field_num_or(const std::map<std::string, std::string>& obj, const char* key,
+                    double fallback) {
+  return obj.count(key) != 0 ? field_num(obj, key) : fallback;
+}
+
+std::uint64_t field_u64_or(const std::map<std::string, std::string>& obj, const char* key,
+                           std::uint64_t fallback) {
+  return obj.count(key) != 0 ? field_u64(obj, key) : fallback;
+}
+
+std::string field_str(const std::map<std::string, std::string>& obj, const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::invalid_argument(std::string("missing field ") + key);
+  return it->second;
+}
+
+std::string field_str_or(const std::map<std::string, std::string>& obj, const char* key,
+                         const std::string& fallback) {
+  const auto it = obj.find(key);
+  return it != obj.end() ? it->second : fallback;
+}
+
+}  // namespace mfla::jsonl

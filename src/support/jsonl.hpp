@@ -1,0 +1,77 @@
+// Flat one-line JSON building and parsing, shared by every JSONL surface
+// of the system: the checkpoint journal (core/results_io.cpp), the serve
+// protocol (serve/protocol.hpp) and the daemon's stats responses.
+//
+// The dialect is deliberately tiny — one object per line, string keys,
+// scalar values only (strings, integers, doubles) — which keeps the parser
+// a few dozen lines, dependency-free, and tolerant by construction: a torn
+// or malformed line simply fails to parse and the caller skips it. Doubles
+// round-trip exactly (%.17g; non-finite values are written as
+// Infinity/-Infinity/NaN, which both this reader and Python's json module
+// accept).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mfla::jsonl {
+
+/// Append `s` to `out` as a quoted JSON string with the mandatory escapes.
+void append_escaped(std::string& out, const std::string& s);
+
+/// Flat one-line JSON object builder (scalar values only).
+class JsonLine {
+ public:
+  JsonLine& str(const char* key, const std::string& v) {
+    next(key);
+    append_escaped(s_, v);
+    return *this;
+  }
+  JsonLine& num(const char* key, double v);
+  JsonLine& uint(const char* key, std::uint64_t v) {
+    next(key);
+    s_ += std::to_string(v);
+    return *this;
+  }
+  JsonLine& integer(const char* key, long long v) {
+    next(key);
+    s_ += std::to_string(v);
+    return *this;
+  }
+  [[nodiscard]] std::string finish() {
+    s_ += '}';
+    return std::move(s_);
+  }
+
+ private:
+  void next(const char* key) {
+    s_ += s_.size() > 1 ? "," : "";
+    append_escaped(s_, key);
+    s_ += ':';
+  }
+  std::string s_ = "{";
+};
+
+/// Minimal parser for the flat objects JsonLine emits: string keys, scalar
+/// values (strings are unescaped; numbers/booleans kept as raw tokens).
+/// Returns false on anything malformed — callers treat that as a torn line.
+bool parse_line(const std::string& line, std::map<std::string, std::string>& out);
+
+// Typed field accessors over a parsed object. The non-defaulted forms throw
+// std::invalid_argument on a missing or malformed field; the *_or forms
+// return the fallback when the key is absent (fields added after files
+// already existed in the wild).
+[[nodiscard]] double field_num(const std::map<std::string, std::string>& obj, const char* key);
+[[nodiscard]] std::uint64_t field_u64(const std::map<std::string, std::string>& obj,
+                                      const char* key);
+[[nodiscard]] double field_num_or(const std::map<std::string, std::string>& obj, const char* key,
+                                  double fallback);
+[[nodiscard]] std::uint64_t field_u64_or(const std::map<std::string, std::string>& obj,
+                                         const char* key, std::uint64_t fallback);
+[[nodiscard]] std::string field_str(const std::map<std::string, std::string>& obj,
+                                    const char* key);
+[[nodiscard]] std::string field_str_or(const std::map<std::string, std::string>& obj,
+                                       const char* key, const std::string& fallback);
+
+}  // namespace mfla::jsonl

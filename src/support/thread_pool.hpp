@@ -185,4 +185,71 @@ class ThreadPool {
 inline thread_local const ThreadPool* ThreadPool::this_pool_ = nullptr;
 inline thread_local std::size_t ThreadPool::this_worker_ = 0;
 
+/// A completion scope over a (possibly shared) ThreadPool.
+///
+/// ThreadPool::wait_idle() waits for the WHOLE pool to drain and rethrows
+/// anyone's first error — fine when the caller owns the pool, wrong once
+/// several sweeps share one pool (the serving daemon). A TaskGroup counts
+/// only its own submissions: wait() returns when every task submitted
+/// through THIS group has finished, regardless of what else is running on
+/// the pool, and rethrows only this group's first exception.
+///
+/// Nested submissions (a group task submitting more group tasks) are safe
+/// as long as they happen before the submitting task returns — the parent
+/// task is still counted as pending, so the group cannot appear idle in
+/// between.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Blocks until all tasks have finished; never throws (a pending error
+  /// that was never wait()ed for is dropped, matching ThreadPool's dtor).
+  ~TaskGroup() {
+    std::unique_lock<std::mutex> lk(mtx_);
+    cv_.wait(lk, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+
+  /// Enqueue a task on the underlying pool, counted against this group.
+  void submit(std::function<void()> task) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    pool_.submit([this, t = std::move(task)] {
+      std::exception_ptr err;
+      try {
+        t();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      // The decrement and notify happen under mtx_: a waiter can only see
+      // pending_ == 0 (and destroy the group) once this task has released
+      // the lock and stopped touching *this.
+      std::lock_guard<std::mutex> lk(mtx_);
+      if (err && !first_error_) first_error_ = err;
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) cv_.notify_all();
+    });
+  }
+
+  /// Block until every task submitted through this group (including nested
+  /// submissions) has finished. Rethrows the group's first task exception.
+  void wait() {
+    std::unique_lock<std::mutex> lk(mtx_);
+    cv_.wait(lk, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+    if (first_error_) {
+      std::exception_ptr err;
+      std::swap(err, first_error_);
+      lk.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  std::exception_ptr first_error_;
+  std::atomic<std::size_t> pending_{0};
+};
+
 }  // namespace mfla

@@ -2,6 +2,7 @@
 // exactness (eigenvalue/vector bits), key sensitivity, corrupted-entry
 // fallback, and the engine-level cold-vs-warm byte-identity guarantee.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <bit>
@@ -498,6 +499,82 @@ TEST_F(CacheDurabilityTest, ConcurrentStoresOfOneKeyAllPublishCleanly) {
   for (std::size_t i = 0; i < ref.values.size(); ++i)
     EXPECT_EQ(std::bit_cast<std::uint64_t>(back.values[i]),
               std::bit_cast<std::uint64_t>(ref.values[i]));
+}
+
+TEST_F(CacheDurabilityTest, TwoWriterProcessesShareOneDirectoryCleanly) {
+  // The serving scenario: several daemons (processes) share one cache
+  // directory. Each writer gets its own ReferenceCache instance, so the
+  // only serialization between them is the advisory flock on the rename
+  // seams. Both processes hammer the same key set; afterwards every entry
+  // must load bit-exact and no temp file may be left behind.
+  TempDir dir("refcache_twoproc");
+  const ReferenceSolution ref = sample_solution();
+  constexpr std::uint64_t kKeys = 16;
+
+  const auto writer = [&](std::uint64_t salt_offset) {
+    ReferenceCache cache(dir.path);
+    bool ok = true;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      cache.store(sample_key(100 + (k + salt_offset) % kKeys), ref);
+      ReferenceSolution back;
+      // A load may race the other process's in-flight publish of this key
+      // only before anyone stored it — by the time our own store returned,
+      // the entry exists (renames never unpublish), so this must hit.
+      ok = ok && cache.load(sample_key(100 + (k + salt_offset) % kKeys), back);
+    }
+    return ok;
+  };
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: plain _exit so gtest machinery/buffers are not double-run.
+    const bool ok = writer(kKeys / 2);
+    ::_exit(ok ? 0 : 1);
+  }
+  const bool parent_ok = writer(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << "child writer failed";
+  EXPECT_TRUE(parent_ok);
+
+  EXPECT_EQ(tmp_files_in(dir.path), 0u);
+  ReferenceCache reader(dir.path);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ReferenceSolution back;
+    ASSERT_TRUE(reader.load(sample_key(100 + k), back)) << "key " << k;
+    ASSERT_EQ(back.values.size(), ref.values.size());
+    for (std::size_t i = 0; i < ref.values.size(); ++i)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(back.values[i]),
+                std::bit_cast<std::uint64_t>(ref.values[i]));
+  }
+}
+
+TEST_F(CacheDurabilityTest, ConcurrentRejectersQuarantineExactlyOnce) {
+  // Two cache instances on one directory (the two-daemon shape, flock
+  // between distinct fds) race to reject the same corrupt entry from four
+  // threads. However the interleaving falls, the quarantine rename must
+  // happen exactly once: one .bad file, a combined quarantined count of 1,
+  // and no error for the losers (they see a plain miss).
+  TempDir dir("refcache_quarantine_race");
+  ReferenceCache a(dir.path), b(dir.path);
+  a.store(sample_key(60), sample_solution());
+  const std::string path = a.entry_path(sample_key(60));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&, t] {
+      ReferenceSolution back;
+      EXPECT_FALSE((t % 2 == 0 ? a : b).load(sample_key(60), back));
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(a.stats().quarantined + b.stats().quarantined, 1u)
+      << "the .bad rename raced into a double quarantine";
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".bad"));
 }
 
 TEST_F(CacheDurabilityTest, UncreatableDirectoryDegradesInsteadOfThrowing) {

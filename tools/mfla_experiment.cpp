@@ -9,7 +9,9 @@
 // persistent content-addressed cache of the float128 reference solutions.
 //
 // Try: mfla_experiment --help, mfla_experiment --list-formats.
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,11 +30,30 @@ const char* kDefaultFormats = "f16,bf16,p16,t16,f32,p32,t32,f64,p64,t64";
 // Exit codes, so scripts (CI, mfla_crashtest) can tell failure classes
 // apart: 0 success, 2 usage error, 3 I/O failure (journal, CSV, dataset
 // files, disk full), 4 solve failure (solver aborts recorded by the solve
-// guard, or an unexpected engine exception).
+// guard, or an unexpected engine exception), 5 interrupted (SIGINT/SIGTERM
+// drained the sweep; with --checkpoint the journal holds every completed
+// run and --resume finishes the rest).
 constexpr int kExitOk = 0;
 constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
 constexpr int kExitSolve = 4;
+constexpr int kExitInterrupted = 5;
+
+// Flipped by the SIGINT/SIGTERM handler and polled by the engine as the
+// sweep's cooperative cancel flag: queued runs are skipped, in-flight runs
+// finish and reach the journal, then run() returns with canceled_runs set.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_interrupt(int) { g_interrupted.store(true, std::memory_order_relaxed); }
+
+void install_interrupt_handler() {
+  struct sigaction sa{};
+  sa.sa_handler = handle_interrupt;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a sweep blocked in I/O should see EINTR promptly.
+  (void)sigaction(SIGINT, &sa, nullptr);
+  (void)sigaction(SIGTERM, &sa, nullptr);
+}
 
 void print_usage(std::FILE* out) {
   std::fprintf(
@@ -251,6 +272,8 @@ int main(int argc, char** argv) {
   }
   if (!ref_cache_dir.empty()) std::printf("reference cache: %s\n", ref_cache_dir.c_str());
 
+  install_interrupt_handler();
+
   api::SweepResult result;
   try {
     api::Sweep sweep = api::Sweep::over(std::move(dataset));
@@ -260,6 +283,7 @@ int main(int argc, char** argv) {
         .restarts(max_restarts)
         .reference_tier(ref_tier)
         .threads(threads)
+        .cancel(&g_interrupted)
         .sink(std::make_shared<api::ProgressSink>(stderr))
         .sink(std::make_shared<api::CsvSink>(out_prefix + "_raw.csv"));
     if (!checkpoint_path.empty()) sweep.checkpoint(checkpoint_path).resume(resume);
@@ -277,6 +301,22 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "\nerror: %s\n", e.what());
     return kExitSolve;
+  }
+
+  if (result.stats.canceled_runs != 0 || g_interrupted.load(std::memory_order_relaxed)) {
+    // No CSVs for a drained sweep (CsvSink already skipped the raw file): a
+    // partial CSV is indistinguishable from a complete one. The journal is
+    // the artifact that survives an interrupt.
+    std::fprintf(stderr, "\ninterrupted: %zu queued runs skipped, in-flight runs journaled\n",
+                 result.stats.canceled_runs);
+    if (!checkpoint_path.empty()) {
+      std::fprintf(stderr, "re-run with --checkpoint %s --resume to finish the sweep\n",
+                   checkpoint_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "(no --checkpoint journal; a re-run starts from scratch)\n");
+    }
+    return kExitInterrupted;
   }
 
   if (result.cache_attached) {
